@@ -1,0 +1,61 @@
+//! Criterion micro-bench: the hand-rolled wire codec. An unauthenticated
+//! protocol's pitch includes avoiding expensive cryptography, so the
+//! remaining per-message CPU cost — encoding — should be trivially small;
+//! this bench quantifies it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tetrabft::{Message, SuggestData};
+use tetrabft_multishot::{Block, MsMessage};
+use tetrabft_types::{Phase, Slot, Value, View, VoteInfo};
+use tetrabft_wire::Wire;
+
+fn bench_codec(c: &mut Criterion) {
+    let vote = Message::Vote { phase: Phase::VOTE2, view: View(9), value: Value::from_u64(7) };
+    let suggest = Message::Suggest {
+        view: View(9),
+        data: SuggestData {
+            vote2: Some(VoteInfo::new(View(8), Value::from_u64(1))),
+            prev_vote2: Some(VoteInfo::new(View(5), Value::from_u64(2))),
+            vote3: Some(VoteInfo::new(View(8), Value::from_u64(1))),
+        },
+    };
+    let block_msg = MsMessage::Proposal {
+        view: View(0),
+        block: Block::new(
+            Slot(42),
+            tetrabft_multishot::GENESIS_HASH,
+            (0..32).map(|i| vec![i as u8; 64]).collect(),
+        ),
+    };
+
+    c.bench_function("encode_vote", |b| b.iter(|| black_box(black_box(&vote).to_bytes())));
+    let vote_bytes = vote.to_bytes();
+    c.bench_function("decode_vote", |b| {
+        b.iter(|| black_box(Message::from_bytes(black_box(&vote_bytes)).unwrap()))
+    });
+
+    c.bench_function("encode_suggest", |b| {
+        b.iter(|| black_box(black_box(&suggest).to_bytes()))
+    });
+    let suggest_bytes = suggest.to_bytes();
+    c.bench_function("decode_suggest", |b| {
+        b.iter(|| black_box(Message::from_bytes(black_box(&suggest_bytes)).unwrap()))
+    });
+
+    c.bench_function("encode_block_32txs", |b| {
+        b.iter(|| black_box(black_box(&block_msg).to_bytes()))
+    });
+    let block_bytes = block_msg.to_bytes();
+    c.bench_function("decode_block_32txs", |b| {
+        b.iter(|| black_box(MsMessage::from_bytes(black_box(&block_bytes)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **E4 — Section 5 (formal verification)**: agreement of the abstract
+//! TetraBFT model. The paper verifies `Consistency` with Apalache (4 nodes,
+//! 1 Byzantine, 3 values, 5 views, inductive invariant, ~3 h). This bench
+//! reproduces the result with explicit-state BFS: exhaustively at
+//! explicitly-tractable bounds, and as a deep bounded sweep at the paper's
+//! bounds (the sampled inductive-invariant obligations live in
+//! `crates/mc/tests/inductive.rs`).
+
+use std::time::Instant;
+
+use tetrabft_bench::print_table;
+use tetrabft_mc::{Explorer, ModelCfg};
+
+fn main() {
+    let mut rows = Vec::new();
+    let instances = [
+        ("exhaustive", ModelCfg { nodes: 4, byzantine: 1, values: 2, rounds: 1 }, 5_000_000),
+        ("exhaustive", ModelCfg { nodes: 4, byzantine: 1, values: 3, rounds: 1 }, 5_000_000),
+        ("exhaustive", ModelCfg { nodes: 4, byzantine: 1, values: 2, rounds: 2 }, 1_500_000),
+        ("bounded", ModelCfg { nodes: 4, byzantine: 1, values: 3, rounds: 5 }, 3_000_000),
+    ];
+    for (mode, cfg, budget) in instances {
+        let started = Instant::now();
+        let report = Explorer::new(cfg).check_inductive(true).run(budget);
+        let secs = started.elapsed().as_secs_f64();
+        rows.push(vec![
+            format!("{} values × {} rounds", cfg.values, cfg.rounds),
+            mode.to_string(),
+            report.states.to_string(),
+            report.transitions.to_string(),
+            report.depth.to_string(),
+            if report.exhausted { "yes".into() } else { "budget".into() },
+            report.violations.to_string(),
+            report.invariant_violations.to_string(),
+            format!("{secs:.1}s"),
+        ]);
+        assert_eq!(report.violations, 0, "agreement must hold");
+        assert_eq!(report.invariant_violations, 0, "ConsistencyInvariant must hold");
+    }
+
+    print_table(
+        "Section 5 — agreement model checking (4 nodes, 1 angelic Byzantine)",
+        &[
+            "instance", "mode", "states", "transitions", "depth", "exhausted",
+            "agreement violations", "invariant violations", "time",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nPaper: Apalache verifies the inductive invariant for 3 values × 5 views \
+         in ~3 h. Here: zero violations across every explored state (exhaustive at \
+         small bounds, {}-state frontier at the paper's bounds), plus the sampled \
+         inductive obligations in crates/mc/tests/inductive.rs.",
+        rows.last().map(|r| r[2].clone()).unwrap_or_default()
+    );
+}

@@ -1,0 +1,113 @@
+//! Criterion micro-bench: cost of the safe-value determination algorithms
+//! (Algorithm 4 / Algorithm 5), whose complexity the paper states as
+//! `O(v · m · n)` with `m = O(n)` candidate values. Sweeping `n` at fixed
+//! `v` and `v` at fixed `n` lets the Criterion report exhibit the claimed
+//! linear factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tetrabft::rules::{leader_determine_safe, node_determine_safe};
+use tetrabft::{ProofData, SuggestData};
+use tetrabft_types::{Config, Value, View, VoteInfo};
+
+/// Worst-case-ish inputs: every node reports distinct values at staggered
+/// views so the candidate set is large and no early exit fires.
+fn suggests(n: usize, view: u64) -> Vec<SuggestData> {
+    (0..n)
+        .map(|i| {
+            let hi = view.saturating_sub(1 + (i as u64 % 3));
+            let lo = hi.saturating_sub(1);
+            SuggestData {
+                vote2: Some(VoteInfo::new(View(hi), Value::from_u64(i as u64))),
+                prev_vote2: Some(VoteInfo::new(View(lo), Value::from_u64(i as u64 + 1))),
+                vote3: Some(VoteInfo::new(View(lo), Value::from_u64(i as u64))),
+            }
+        })
+        .collect()
+}
+
+fn proofs(n: usize, view: u64) -> Vec<ProofData> {
+    (0..n)
+        .map(|i| {
+            let hi = view.saturating_sub(1 + (i as u64 % 3));
+            let lo = hi.saturating_sub(1);
+            ProofData {
+                vote1: Some(VoteInfo::new(View(hi), Value::from_u64(i as u64))),
+                prev_vote1: Some(VoteInfo::new(View(lo), Value::from_u64(i as u64 + 1))),
+                vote4: Some(VoteInfo::new(View(lo), Value::from_u64(i as u64))),
+            }
+        })
+        .collect()
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm4_leader_safe");
+    for &n in &[4usize, 16, 64] {
+        let cfg = Config::new(n).unwrap();
+        let input = suggests(n, 16);
+        group.bench_with_input(BenchmarkId::new("n_sweep_v16", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(leader_determine_safe(
+                    &cfg,
+                    black_box(&input),
+                    View(16),
+                    Value::from_u64(999),
+                ))
+            })
+        });
+    }
+    for &v in &[4u64, 16, 64] {
+        let cfg = Config::new(16).unwrap();
+        let input = suggests(16, v);
+        group.bench_with_input(BenchmarkId::new("v_sweep_n16", v), &v, |b, _| {
+            b.iter(|| {
+                black_box(leader_determine_safe(
+                    &cfg,
+                    black_box(&input),
+                    View(v),
+                    Value::from_u64(999),
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("algorithm5_node_safe");
+    for &n in &[4usize, 16, 64] {
+        let cfg = Config::new(n).unwrap();
+        let input = proofs(n, 16);
+        group.bench_with_input(BenchmarkId::new("n_sweep_v16", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(node_determine_safe(
+                    &cfg,
+                    black_box(&input),
+                    View(16),
+                    Value::from_u64(0),
+                ))
+            })
+        });
+    }
+    for &v in &[4u64, 16, 64] {
+        let cfg = Config::new(16).unwrap();
+        let input = proofs(16, v);
+        group.bench_with_input(BenchmarkId::new("v_sweep_n16", v), &v, |b, _| {
+            b.iter(|| {
+                black_box(node_determine_safe(
+                    &cfg,
+                    black_box(&input),
+                    View(v),
+                    Value::from_u64(0),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rules
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! **E7 — the ×5 pipelining claim** (Sections 1 and 6): "TetraBFT is able
+//! to commit one new block every message delay in the good case, and thus,
+//! in theory, it achieves a maximal throughput of 5 times the throughput
+//! that would be achieved by simply repeating instances of single-shot
+//! TetraBFT."
+
+use tetrabft::Params;
+use tetrabft_baselines::RepeatedTetra;
+use tetrabft_bench::print_table;
+use tetrabft_multishot::MultiShotNode;
+use tetrabft_sim::{LinkPolicy, SimBuilder, Time};
+use tetrabft_types::{Config, NodeId};
+
+fn main() {
+    let n = 4;
+    let cfg = Config::new(n).unwrap();
+    let horizons = [100u64, 250, 500, 1000];
+
+    let mut rows = Vec::new();
+    for &h in &horizons {
+        let mut pipelined = SimBuilder::new(n)
+            .policy(LinkPolicy::synchronous(1))
+            .build(|id| MultiShotNode::new(cfg, Params::new(1_000_000), id));
+        pipelined.run_until(Time(h));
+        let blocks = pipelined
+            .outputs()
+            .iter()
+            .filter(|o| o.node == NodeId(0))
+            .count() as f64;
+
+        let mut repeated = SimBuilder::new(n)
+            .policy(LinkPolicy::synchronous(1))
+            .build(|id| RepeatedTetra::new(cfg, Params::new(1_000_000), id));
+        repeated.run_until(Time(h));
+        let decisions = repeated
+            .outputs()
+            .iter()
+            .filter(|o| o.node == NodeId(0))
+            .count() as f64;
+
+        let ratio = blocks / decisions;
+        rows.push(vec![
+            h.to_string(),
+            format!("{blocks}"),
+            format!("{decisions}"),
+            format!("{ratio:.2}×"),
+        ]);
+        assert!(
+            ratio > 4.5 && ratio < 5.5,
+            "throughput ratio must approach 5× (got {ratio:.2} at horizon {h})"
+        );
+    }
+
+    print_table(
+        "Throughput — pipelined multi-shot vs repeated single-shot (blocks per horizon, node 0)",
+        &["horizon (delays)", "pipelined blocks", "repeated decisions", "ratio"],
+        &rows,
+    );
+
+    println!(
+        "\nReproduced: one block per delay vs one decision per 5 delays — the \
+         paper's ×5 pipelining factor, converging from below as the 5-delay \
+         ramp-up amortizes."
+    );
+}

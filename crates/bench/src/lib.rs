@@ -1,0 +1,285 @@
+//! Shared measurement harness for the table/figure reproduction benches.
+//!
+//! Every `benches/*.rs` target regenerates one artifact of the paper
+//! (Table 1, Fig. 2, Fig. 3, the Section 5 verification, or a quantitative
+//! claim from the text); this library holds the scenario runners they
+//! share. See `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tetrabft::{Params, TetraNode};
+use tetrabft_baselines::{BlogNode, IthsNode, PbftNode};
+use tetrabft_sim::{LinkPolicy, Sim, SimBuilder, SilentNode, Time, WireSize};
+use tetrabft_types::{Config, NodeId, Value};
+
+/// Latency + communication measurements for one protocol scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// First decision time in message delays.
+    pub latency: u64,
+    /// Total bytes all nodes handed to the network.
+    pub total_bytes: u64,
+    /// Largest per-node byte count.
+    pub max_node_bytes: u64,
+    /// Total messages sent.
+    pub total_msgs: u64,
+}
+
+fn measure<M, O>(mut sim: Sim<M, O>, outputs: usize) -> Measurement
+where
+    M: WireSize + Clone,
+{
+    assert!(
+        sim.run_until_outputs(outputs, 50_000_000),
+        "scenario failed to produce {outputs} outputs"
+    );
+    Measurement {
+        latency: sim.outputs()[0].time.0,
+        total_bytes: sim.metrics().total_bytes_sent(),
+        max_node_bytes: sim.metrics().max_node_bytes_sent(),
+        total_msgs: sim.metrics().total_msgs_sent(),
+    }
+}
+
+/// Which run to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Synchronous from the start, all leaders correct, unit delays.
+    GoodCase,
+    /// The leader of view 0 is crashed; latency is reported relative to the
+    /// `9Δ` timeout so it counts the *view-change* message delays.
+    ViewChange {
+        /// Δ in ticks (hops stay unit-delay).
+        delta: u64,
+    },
+}
+
+/// Protocols under comparison in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// TetraBFT (this paper).
+    Tetra,
+    /// Information-Theoretic HotStuff.
+    Iths,
+    /// IT-HS blog version (non-responsive).
+    IthsBlog,
+    /// Bounded-storage PBFT.
+    Pbft,
+}
+
+impl Protocol {
+    /// Display name matching Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Tetra => "TetraBFT",
+            Protocol::Iths => "IT-HS",
+            Protocol::IthsBlog => "IT-HS (blog version)",
+            Protocol::Pbft => "PBFT (bounded)",
+        }
+    }
+
+    /// Paper-reported (good-case, view-change) latencies in message delays.
+    pub fn paper_latencies(self) -> (u64, u64) {
+        match self {
+            Protocol::Tetra => (5, 7),
+            Protocol::Iths => (6, 9),
+            Protocol::IthsBlog => (4, 5),
+            Protocol::Pbft => (3, 7),
+        }
+    }
+
+    /// Paper-reported responsiveness.
+    pub fn responsive(self) -> &'static str {
+        match self {
+            Protocol::IthsBlog => "non-responsive",
+            _ => "responsive",
+        }
+    }
+}
+
+/// Runs `protocol` under `scenario` with `n` nodes and per-hop delay
+/// `hop` ticks, measuring the first decision.
+pub fn run_protocol(protocol: Protocol, scenario: Scenario, n: usize, hop: u64) -> Measurement {
+    let cfg = Config::new(n).expect("valid n");
+    let (params, crash_leader) = match scenario {
+        Scenario::GoodCase => (Params::new(1_000_000), false),
+        Scenario::ViewChange { delta } => (Params::new(delta), true),
+    };
+    let policy = LinkPolicy::synchronous(hop);
+    let outputs = if crash_leader { n - 1 } else { n };
+    match protocol {
+        Protocol::Tetra => {
+            let sim = SimBuilder::new(n).policy(policy).build_boxed(move |id| {
+                if crash_leader && id == NodeId(0) {
+                    Box::new(SilentNode::new())
+                } else {
+                    Box::new(TetraNode::new(cfg, params, id, Value::from_u64(id.0 as u64 + 1)))
+                }
+            });
+            measure(sim, outputs)
+        }
+        Protocol::Iths => {
+            let sim = SimBuilder::new(n).policy(policy).build_boxed(move |id| {
+                if crash_leader && id == NodeId(0) {
+                    Box::new(SilentNode::new())
+                } else {
+                    Box::new(IthsNode::new(cfg, params, id, Value::from_u64(id.0 as u64 + 1)))
+                }
+            });
+            measure(sim, outputs)
+        }
+        Protocol::IthsBlog => {
+            let sim = SimBuilder::new(n).policy(policy).build_boxed(move |id| {
+                if crash_leader && id == NodeId(0) {
+                    Box::new(SilentNode::new())
+                } else {
+                    Box::new(BlogNode::new(cfg, params, id, Value::from_u64(id.0 as u64 + 1)))
+                }
+            });
+            measure(sim, outputs)
+        }
+        Protocol::Pbft => {
+            let sim = SimBuilder::new(n).policy(policy).build_boxed(move |id| {
+                if crash_leader && id == NodeId(0) {
+                    Box::new(SilentNode::new())
+                } else {
+                    Box::new(PbftNode::new(cfg, params, id, Value::from_u64(id.0 as u64 + 1)))
+                }
+            });
+            measure(sim, outputs)
+        }
+    }
+}
+
+/// View-change latency in message delays: decision time minus the `9Δ`
+/// timeout instant (hops are unit-delay in the view-change scenario).
+pub fn view_change_delays(protocol: Protocol, n: usize, delta: u64) -> u64 {
+    let m = run_protocol(protocol, Scenario::ViewChange { delta }, n, 1);
+    let timeout = Params::new(delta).view_timeout();
+    m.latency.saturating_sub(timeout)
+}
+
+/// A PBFT node whose view-0 commits are swallowed: the view completes its
+/// prepare phase (so every node holds a full O(n) prepared certificate) but
+/// stalls before deciding, forcing the *worst-case* view change Table 1
+/// prices at O(n³) total bits — certificate-carrying view-changes from all
+/// nodes plus the O(n²) new-view bundle.
+struct StalledCommitPbft {
+    inner: PbftNode,
+}
+
+impl tetrabft_sim::Node for StalledCommitPbft {
+    type Msg = tetrabft_baselines::pbft::PbftMsg;
+    type Output = Value;
+
+    fn handle(
+        &mut self,
+        input: tetrabft_sim::Input<Self::Msg>,
+        ctx: &mut tetrabft_sim::Context<'_, Self::Msg, Value>,
+    ) {
+        use tetrabft_baselines::pbft::PbftMsg;
+        use tetrabft_sim::{Action, Context, Dest};
+        let mut buf: Vec<Action<Self::Msg, Value>> = Vec::new();
+        {
+            let mut inner_ctx = Context::buffered(ctx.me(), ctx.n(), ctx.now(), &mut buf);
+            self.inner.handle(input, &mut inner_ctx);
+        }
+        for action in buf {
+            match action {
+                Action::Send { msg: PbftMsg::Commit { view, .. }, .. } if view.is_zero() => {
+                    // Swallowed: view 0 prepared but can never commit.
+                }
+                Action::Send { dest, msg } => match dest {
+                    Dest::All => ctx.broadcast(msg),
+                    Dest::Node(to) => ctx.send(to, msg),
+                },
+                Action::SetTimer { id, after } => ctx.set_timer(id, after),
+                Action::CancelTimer { id } => ctx.cancel_timer(id),
+                Action::Output(v) => ctx.output(v),
+            }
+        }
+    }
+}
+
+/// Runs PBFT through a *loaded* view change: view 0 reaches the prepared
+/// state everywhere, stalls, and recovers in view 1 with full certificates
+/// on the wire. Returns the communication measurement (the O(n³) scenario
+/// of experiment E6).
+pub fn pbft_loaded_view_change(n: usize, delta: u64) -> Measurement {
+    let cfg = Config::new(n).expect("valid n");
+    let params = Params::new(delta);
+    let sim = SimBuilder::new(n)
+        .policy(LinkPolicy::synchronous(1))
+        .build(move |id| StalledCommitPbft {
+            inner: PbftNode::new(cfg, params, id, Value::from_u64(u64::from(id.0) + 1)),
+        });
+    measure(sim, n)
+}
+
+/// Pretty-prints a Markdown-ish table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Log-log slope between two (x, y) samples — the empirical scaling
+/// exponent used by the communication experiments.
+pub fn scaling_exponent(x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
+    ((y1 / y0).ln()) / ((x1 / x0).ln())
+}
+
+/// Time horizon helper for throughput runs.
+pub fn horizon(ticks: u64) -> Time {
+    Time(ticks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies_match_paper_at_n4() {
+        for protocol in [Protocol::Tetra, Protocol::Iths, Protocol::IthsBlog, Protocol::Pbft] {
+            let (good, _) = protocol.paper_latencies();
+            let m = run_protocol(protocol, Scenario::GoodCase, 4, 1);
+            assert_eq!(m.latency, good, "{} good case", protocol.name());
+        }
+    }
+
+    #[test]
+    fn responsive_view_change_latencies_match_paper() {
+        for protocol in [Protocol::Tetra, Protocol::Iths, Protocol::Pbft] {
+            let (_, vc) = protocol.paper_latencies();
+            let got = view_change_delays(protocol, 4, 10);
+            assert_eq!(got, vc, "{} view change", protocol.name());
+        }
+    }
+
+    #[test]
+    fn scaling_exponent_sanity() {
+        let e = scaling_exponent(4.0, 16.0, 8.0, 64.0);
+        assert!((e - 2.0).abs() < 1e-9);
+    }
+}

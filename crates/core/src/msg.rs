@@ -1,0 +1,266 @@
+//! Message types of Basic TetraBFT (Section 3.1).
+
+use serde::{Deserialize, Serialize};
+use tetrabft_sim::WireSize;
+use tetrabft_types::{Phase, Value, View, VoteInfo};
+use tetrabft_wire::{Reader, Wire, WireError, Writer};
+
+/// Payload of a `suggest` message: the sender's historical `vote-2`/`vote-3`
+/// records, used by leaders to determine safe values (Rule 1 / Rule 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SuggestData {
+    /// Highest `vote-2` the sender ever cast.
+    pub vote2: Option<VoteInfo>,
+    /// Highest `vote-2` the sender cast for a value different from `vote2`.
+    pub prev_vote2: Option<VoteInfo>,
+    /// Highest `vote-3` the sender ever cast.
+    pub vote3: Option<VoteInfo>,
+}
+
+/// Payload of a `proof` message: same structure as [`SuggestData`] but with
+/// `vote-1` in place of `vote-2` and `vote-4` in place of `vote-3`, used by
+/// followers to validate proposals (Rule 3 / Rule 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProofData {
+    /// Highest `vote-1` the sender ever cast.
+    pub vote1: Option<VoteInfo>,
+    /// Highest `vote-1` the sender cast for a value different from `vote1`.
+    pub prev_vote1: Option<VoteInfo>,
+    /// Highest `vote-4` the sender ever cast.
+    pub vote4: Option<VoteInfo>,
+}
+
+/// A Basic TetraBFT message.
+///
+/// The good case uses only [`Message::Proposal`] and [`Message::Vote`];
+/// suggest/proof/view-change appear only when recovering from asynchrony or
+/// a faulty leader — the property that distinguishes TetraBFT's pipelined
+/// extension from IT-HS's (Section 1.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// `⟨proposal, v, val⟩` — only sent by the leader of `view`.
+    Proposal {
+        /// View the proposal is made in.
+        view: View,
+        /// Proposed value.
+        value: Value,
+    },
+    /// `⟨vote-i, v, val⟩` for `i ∈ 1..=4`.
+    Vote {
+        /// Which of the four voting phases.
+        phase: Phase,
+        /// View the vote is cast in.
+        view: View,
+        /// Value voted for.
+        value: Value,
+    },
+    /// `⟨suggest, …⟩` — sent to the leader on entering a view `> 0`.
+    Suggest {
+        /// View the sender is entering.
+        view: View,
+        /// Historical vote-2/vote-3 records.
+        data: SuggestData,
+    },
+    /// `⟨proof, …⟩` — broadcast on entering a view `> 0`.
+    Proof {
+        /// View the sender is entering.
+        view: View,
+        /// Historical vote-1/vote-4 records.
+        data: ProofData,
+    },
+    /// `⟨view-change, v⟩` — a request to move to view `v`.
+    ViewChange {
+        /// The view the sender wants to move to.
+        view: View,
+    },
+}
+
+impl Message {
+    /// The view this message belongs to.
+    pub fn view(&self) -> View {
+        match self {
+            Message::Proposal { view, .. }
+            | Message::Vote { view, .. }
+            | Message::Suggest { view, .. }
+            | Message::Proof { view, .. }
+            | Message::ViewChange { view } => *view,
+        }
+    }
+
+    /// Short human-readable kind, used by traces and figures.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Proposal { .. } => "proposal",
+            Message::Vote { phase, .. } => match phase.as_u8() {
+                1 => "vote-1",
+                2 => "vote-2",
+                3 => "vote-3",
+                _ => "vote-4",
+            },
+            Message::Suggest { .. } => "suggest",
+            Message::Proof { .. } => "proof",
+            Message::ViewChange { .. } => "view-change",
+        }
+    }
+}
+
+const TAG_PROPOSAL: u8 = 1;
+const TAG_VOTE: u8 = 2;
+const TAG_SUGGEST: u8 = 3;
+const TAG_PROOF: u8 = 4;
+const TAG_VIEW_CHANGE: u8 = 5;
+
+impl Wire for SuggestData {
+    fn encode(&self, w: &mut Writer) {
+        self.vote2.encode(w);
+        self.prev_vote2.encode(w);
+        self.vote3.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SuggestData {
+            vote2: Option::decode(r)?,
+            prev_vote2: Option::decode(r)?,
+            vote3: Option::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ProofData {
+    fn encode(&self, w: &mut Writer) {
+        self.vote1.encode(w);
+        self.prev_vote1.encode(w);
+        self.vote4.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ProofData {
+            vote1: Option::decode(r)?,
+            prev_vote1: Option::decode(r)?,
+            vote4: Option::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Message {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Message::Proposal { view, value } => {
+                w.put_u8(TAG_PROPOSAL);
+                view.encode(w);
+                value.encode(w);
+            }
+            Message::Vote { phase, view, value } => {
+                w.put_u8(TAG_VOTE);
+                phase.encode(w);
+                view.encode(w);
+                value.encode(w);
+            }
+            Message::Suggest { view, data } => {
+                w.put_u8(TAG_SUGGEST);
+                view.encode(w);
+                data.encode(w);
+            }
+            Message::Proof { view, data } => {
+                w.put_u8(TAG_PROOF);
+                view.encode(w);
+                data.encode(w);
+            }
+            Message::ViewChange { view } => {
+                w.put_u8(TAG_VIEW_CHANGE);
+                view.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            TAG_PROPOSAL => {
+                Ok(Message::Proposal { view: View::decode(r)?, value: Value::decode(r)? })
+            }
+            TAG_VOTE => Ok(Message::Vote {
+                phase: Phase::decode(r)?,
+                view: View::decode(r)?,
+                value: Value::decode(r)?,
+            }),
+            TAG_SUGGEST => {
+                Ok(Message::Suggest { view: View::decode(r)?, data: SuggestData::decode(r)? })
+            }
+            TAG_PROOF => Ok(Message::Proof { view: View::decode(r)?, data: ProofData::decode(r)? }),
+            TAG_VIEW_CHANGE => Ok(Message::ViewChange { view: View::decode(r)? }),
+            tag => Err(WireError::InvalidTag { what: "Message", tag }),
+        }
+    }
+}
+
+impl WireSize for Message {
+    fn wire_size(&self) -> usize {
+        self.wire_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrabft_types::View;
+
+    fn vi(view: u64, value: u64) -> VoteInfo {
+        VoteInfo::new(View(view), Value::from_u64(value))
+    }
+
+    fn roundtrip(msg: Message) {
+        let bytes = msg.to_bytes();
+        assert_eq!(Message::from_bytes(&bytes).unwrap(), msg);
+        assert_eq!(msg.wire_size(), bytes.len());
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::Proposal { view: View(3), value: Value::from_u64(9) });
+        for phase in Phase::ALL {
+            roundtrip(Message::Vote { phase, view: View(1), value: Value::from_u64(2) });
+        }
+        roundtrip(Message::Suggest {
+            view: View(4),
+            data: SuggestData {
+                vote2: Some(vi(3, 1)),
+                prev_vote2: Some(vi(1, 2)),
+                vote3: None,
+            },
+        });
+        roundtrip(Message::Proof {
+            view: View(4),
+            data: ProofData { vote1: None, prev_vote1: None, vote4: Some(vi(2, 5)) },
+        });
+        roundtrip(Message::ViewChange { view: View(77) });
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            Message::from_bytes(&[99]),
+            Err(WireError::InvalidTag { what: "Message", tag: 99 })
+        ));
+    }
+
+    #[test]
+    fn view_accessor_and_kind() {
+        let m = Message::Vote { phase: Phase::VOTE3, view: View(6), value: Value::from_u64(0) };
+        assert_eq!(m.view(), View(6));
+        assert_eq!(m.kind(), "vote-3");
+        assert_eq!(Message::ViewChange { view: View(1) }.kind(), "view-change");
+    }
+
+    #[test]
+    fn messages_are_constant_size() {
+        // Every TetraBFT message is O(1) bytes — the communication row of
+        // Table 1 relies on it.
+        let worst = Message::Suggest {
+            view: View(u64::MAX),
+            data: SuggestData {
+                vote2: Some(vi(u64::MAX, u64::MAX)),
+                prev_vote2: Some(vi(u64::MAX, u64::MAX)),
+                vote3: Some(vi(u64::MAX, u64::MAX)),
+            },
+        };
+        assert!(worst.wire_size() < 128, "messages must be constant-size");
+    }
+}

@@ -1,0 +1,84 @@
+//! Timing parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the protocol.
+///
+/// The only parameter TetraBFT needs is Δ, the post-GST delivery bound. The
+/// view timeout is fixed at `9Δ` per Section 3.2: up to `2Δ` of view-entry
+/// skew across well-behaved nodes, `6Δ` for suggest/proof, proposal, and the
+/// four vote phases, plus one Δ of safety margin.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft::Params;
+/// let p = Params::new(10);
+/// assert_eq!(p.delta(), 10);
+/// assert_eq!(p.view_timeout(), 90);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Params {
+    delta: u64,
+    timeout_factor: u64,
+}
+
+impl Params {
+    /// Multiplier fixed by the paper's timeout analysis (Section 3.2).
+    pub const TIMEOUT_FACTOR: u64 = 9;
+
+    /// Creates parameters for a known post-GST delivery bound `delta` (Δ),
+    /// expressed in simulator ticks (or milliseconds under `tetrabft-net`),
+    /// with the paper's `9Δ` view timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`; a zero bound makes timeouts meaningless.
+    pub fn new(delta: u64) -> Self {
+        assert!(delta > 0, "Δ must be positive");
+        Params { delta, timeout_factor: Self::TIMEOUT_FACTOR }
+    }
+
+    /// Creates parameters with a non-standard timeout multiplier — **for
+    /// the timeout-margin ablation only** (experiment E8): the paper
+    /// justifies 9Δ as 2Δ view-entry skew + 6Δ of protocol phases + 1Δ
+    /// margin; smaller factors risk spurious view changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0` or `factor == 0`.
+    pub fn with_timeout_factor(delta: u64, factor: u64) -> Self {
+        assert!(delta > 0, "Δ must be positive");
+        assert!(factor > 0, "timeout factor must be positive");
+        Params { delta, timeout_factor: factor }
+    }
+
+    /// The delivery bound Δ.
+    #[inline]
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// The per-view timeout (`9Δ` unless overridden for the ablation).
+    #[inline]
+    pub fn view_timeout(&self) -> u64 {
+        self.timeout_factor * self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_is_nine_delta() {
+        assert_eq!(Params::new(1).view_timeout(), 9);
+        assert_eq!(Params::new(100).view_timeout(), 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "Δ must be positive")]
+    fn zero_delta_rejected() {
+        let _ = Params::new(0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Per-peer receive registers — the constant-storage realization of
+//! "nodes keep checking … messages" (DESIGN.md §2).
+//!
+//! For each peer the node stores only the *latest* message of each kind
+//! (one slot per vote phase, one for the proposal, one each for
+//! suggest/proof, and the highest view-change view). Well-behaved peers send
+//! at most one message per kind per view with non-decreasing views, so no
+//! information a future view needs is ever lost, while total memory stays
+//! O(n) — constant per peer — as the Table 1 storage column requires.
+
+use tetrabft_types::{Config, NodeId, Phase, Value, View, VoteInfo};
+
+use crate::msg::{Message, ProofData, SuggestData};
+
+/// Registers for a single peer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeerRecord {
+    votes: [Option<VoteInfo>; 4],
+    proposal: Option<VoteInfo>,
+    suggest: Option<(View, SuggestData)>,
+    proof: Option<(View, ProofData)>,
+    view_change: Option<View>,
+}
+
+impl PeerRecord {
+    /// The latest vote received from this peer in `phase`, if any.
+    pub fn vote(&self, phase: Phase) -> Option<VoteInfo> {
+        self.votes[phase.index()]
+    }
+
+    /// The latest proposal received from this peer, if any.
+    pub fn proposal(&self) -> Option<VoteInfo> {
+        self.proposal
+    }
+
+    /// The latest suggest received from this peer, if any.
+    pub fn suggest(&self) -> Option<(View, SuggestData)> {
+        self.suggest
+    }
+
+    /// The latest proof received from this peer, if any.
+    pub fn proof(&self) -> Option<(View, ProofData)> {
+        self.proof
+    }
+
+    /// The highest view-change view received from this peer, if any.
+    pub fn view_change(&self) -> Option<View> {
+        self.view_change
+    }
+}
+
+/// Replace `slot` with `(view, payload)` if it is newer.
+///
+/// Equal-view messages keep the original: an equivocating peer cannot flip a
+/// register it already committed for that view, so every later re-evaluation
+/// sees a stable snapshot.
+fn upsert<T>(slot: &mut Option<(View, T)>, view: View, payload: T) {
+    match slot {
+        Some((held, _)) if view <= *held => {}
+        _ => *slot = Some((view, payload)),
+    }
+}
+
+/// The register file: one [`PeerRecord`] per peer.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft::{Message, Registers};
+/// use tetrabft_types::{Config, NodeId, Phase, Value, View};
+///
+/// let cfg = Config::new(4)?;
+/// let mut regs = Registers::new(&cfg);
+/// regs.record(NodeId(2), &Message::Vote {
+///     phase: Phase::VOTE1,
+///     view: View(0),
+///     value: Value::from_u64(5),
+/// });
+/// assert_eq!(regs.count_votes(Phase::VOTE1, View(0), Value::from_u64(5)), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registers {
+    peers: Vec<PeerRecord>,
+}
+
+impl Registers {
+    /// Creates an empty register file for `cfg.n()` peers.
+    pub fn new(cfg: &Config) -> Self {
+        Registers { peers: vec![PeerRecord::default(); cfg.n()] }
+    }
+
+    /// The record of one peer.
+    pub fn peer(&self, id: NodeId) -> &PeerRecord {
+        &self.peers[id.index()]
+    }
+
+    /// Folds `msg` from `from` into the registers.
+    ///
+    /// Stale messages (older view than the slot already holds) are dropped;
+    /// equal-view duplicates keep the first-received copy.
+    pub fn record(&mut self, from: NodeId, msg: &Message) {
+        let peer = &mut self.peers[from.index()];
+        match msg {
+            Message::Proposal { view, value } => {
+                if peer.proposal.is_none_or(|held| *view > held.view) {
+                    peer.proposal = Some(VoteInfo::new(*view, *value));
+                }
+            }
+            Message::Vote { phase, view, value } => {
+                let slot = &mut peer.votes[phase.index()];
+                if slot.is_none_or(|held| *view > held.view) {
+                    *slot = Some(VoteInfo::new(*view, *value));
+                }
+            }
+            Message::Suggest { view, data } => upsert(&mut peer.suggest, *view, *data),
+            Message::Proof { view, data } => upsert(&mut peer.proof, *view, *data),
+            Message::ViewChange { view } => {
+                if peer.view_change.is_none_or(|held| *view > held) {
+                    peer.view_change = Some(*view);
+                }
+            }
+        }
+    }
+
+    /// Number of peers whose latest `phase` vote is for exactly
+    /// `(view, value)`.
+    pub fn count_votes(&self, phase: Phase, view: View, value: Value) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| p.vote(phase) == Some(VoteInfo::new(view, value)))
+            .count()
+    }
+
+    /// Number of peers whose latest `phase` vote is for `value`, in *any*
+    /// view. Multi-shot TetraBFT counts notarization/finality quorums this
+    /// way: a vote for a descendant block endorses its ancestors regardless
+    /// of the views the ancestors were proposed in (cf. Fig. 3, where votes
+    /// at slot 4 / view 0 finalize the block at slot 1 / view 1).
+    pub fn count_votes_value(&self, phase: Phase, value: Value) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| p.vote(phase).is_some_and(|v| v.value == value))
+            .count()
+    }
+
+    /// Distinct values voted for in `phase` in *any* view, with counts
+    /// (the view-agnostic companion of [`Registers::vote_tallies`]; see
+    /// [`Registers::count_votes_value`] for why multi-shot needs this).
+    pub fn vote_value_tallies(&self, phase: Phase) -> Vec<(Value, usize)> {
+        let mut tallies: Vec<(Value, usize)> = Vec::new();
+        for p in &self.peers {
+            if let Some(v) = p.vote(phase) {
+                match tallies.iter_mut().find(|(val, _)| *val == v.value) {
+                    Some((_, c)) => *c += 1,
+                    None => tallies.push((v.value, 1)),
+                }
+            }
+        }
+        tallies
+    }
+
+    /// Distinct values voted for in `phase` at `view`, with counts.
+    pub fn vote_tallies(&self, phase: Phase, view: View) -> Vec<(Value, usize)> {
+        let mut tallies: Vec<(Value, usize)> = Vec::new();
+        for p in &self.peers {
+            if let Some(v) = p.vote(phase) {
+                if v.view == view {
+                    match tallies.iter_mut().find(|(val, _)| *val == v.value) {
+                        Some((_, c)) => *c += 1,
+                        None => tallies.push((v.value, 1)),
+                    }
+                }
+            }
+        }
+        tallies
+    }
+
+    /// The proposal the leader of `view` made in `view`, if received.
+    pub fn proposal_of(&self, leader: NodeId, view: View) -> Option<Value> {
+        self.peers[leader.index()]
+            .proposal
+            .filter(|p| p.view == view)
+            .map(|p| p.value)
+    }
+
+    /// All suggest payloads sent for exactly `view`.
+    pub fn suggests_at(&self, view: View) -> Vec<SuggestData> {
+        self.peers
+            .iter()
+            .filter_map(|p| p.suggest)
+            .filter(|(v, _)| *v == view)
+            .map(|(_, d)| d)
+            .collect()
+    }
+
+    /// All proof payloads sent for exactly `view`.
+    pub fn proofs_at(&self, view: View) -> Vec<ProofData> {
+        self.peers
+            .iter()
+            .filter_map(|p| p.proof)
+            .filter(|(v, _)| *v == view)
+            .map(|(_, d)| d)
+            .collect()
+    }
+
+    /// Number of peers whose highest view-change is `≥ view` (see DESIGN.md
+    /// §2 for why `≥` is the right constant-storage counting rule).
+    pub fn view_change_support(&self, view: View) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| p.view_change.is_some_and(|v| v >= view))
+            .count()
+    }
+
+    /// Distinct view-change views strictly greater than `above`, descending.
+    pub fn view_change_candidates(&self, above: View) -> Vec<View> {
+        let mut views: Vec<View> = self
+            .peers
+            .iter()
+            .filter_map(|p| p.view_change)
+            .filter(|v| *v > above)
+            .collect();
+        views.sort_unstable();
+        views.dedup();
+        views.reverse();
+        views
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrabft_types::Phase;
+
+    fn cfg() -> Config {
+        Config::new(4).unwrap()
+    }
+
+    fn vote(phase: Phase, view: u64, value: u64) -> Message {
+        Message::Vote { phase, view: View(view), value: Value::from_u64(value) }
+    }
+
+    #[test]
+    fn newer_votes_replace_older() {
+        let mut regs = Registers::new(&cfg());
+        regs.record(NodeId(1), &vote(Phase::VOTE1, 0, 5));
+        regs.record(NodeId(1), &vote(Phase::VOTE1, 2, 6));
+        assert_eq!(
+            regs.peer(NodeId(1)).vote(Phase::VOTE1),
+            Some(VoteInfo::new(View(2), Value::from_u64(6)))
+        );
+    }
+
+    #[test]
+    fn stale_votes_ignored() {
+        let mut regs = Registers::new(&cfg());
+        regs.record(NodeId(1), &vote(Phase::VOTE2, 5, 1));
+        regs.record(NodeId(1), &vote(Phase::VOTE2, 3, 9));
+        assert_eq!(
+            regs.peer(NodeId(1)).vote(Phase::VOTE2),
+            Some(VoteInfo::new(View(5), Value::from_u64(1)))
+        );
+    }
+
+    #[test]
+    fn equivocation_within_a_view_does_not_flip_the_register() {
+        let mut regs = Registers::new(&cfg());
+        regs.record(NodeId(3), &vote(Phase::VOTE1, 1, 7));
+        regs.record(NodeId(3), &vote(Phase::VOTE1, 1, 8)); // equivocation
+        assert_eq!(
+            regs.peer(NodeId(3)).vote(Phase::VOTE1),
+            Some(VoteInfo::new(View(1), Value::from_u64(7)))
+        );
+    }
+
+    #[test]
+    fn phases_use_independent_slots() {
+        let mut regs = Registers::new(&cfg());
+        regs.record(NodeId(0), &vote(Phase::VOTE1, 1, 1));
+        regs.record(NodeId(0), &vote(Phase::VOTE4, 1, 1));
+        assert!(regs.peer(NodeId(0)).vote(Phase::VOTE2).is_none());
+        assert!(regs.peer(NodeId(0)).vote(Phase::VOTE1).is_some());
+        assert!(regs.peer(NodeId(0)).vote(Phase::VOTE4).is_some());
+    }
+
+    #[test]
+    fn counting_and_tallies() {
+        let mut regs = Registers::new(&cfg());
+        for i in 0..3 {
+            regs.record(NodeId(i), &vote(Phase::VOTE1, 0, 5));
+        }
+        regs.record(NodeId(3), &vote(Phase::VOTE1, 0, 6));
+        assert_eq!(regs.count_votes(Phase::VOTE1, View(0), Value::from_u64(5)), 3);
+        assert_eq!(regs.count_votes(Phase::VOTE1, View(0), Value::from_u64(6)), 1);
+        let mut tallies = regs.vote_tallies(Phase::VOTE1, View(0));
+        tallies.sort_by_key(|(_, c)| *c);
+        assert_eq!(tallies.len(), 2);
+        assert_eq!(tallies[1], (Value::from_u64(5), 3));
+    }
+
+    #[test]
+    fn proposal_filtering_by_view() {
+        let mut regs = Registers::new(&cfg());
+        let leader = NodeId(1);
+        regs.record(leader, &Message::Proposal { view: View(1), value: Value::from_u64(9) });
+        assert_eq!(regs.proposal_of(leader, View(1)), Some(Value::from_u64(9)));
+        assert_eq!(regs.proposal_of(leader, View(2)), None);
+        // A newer proposal replaces the register; the old view query now
+        // misses, mirroring "only the current view matters".
+        regs.record(leader, &Message::Proposal { view: View(2), value: Value::from_u64(10) });
+        assert_eq!(regs.proposal_of(leader, View(2)), Some(Value::from_u64(10)));
+        assert_eq!(regs.proposal_of(leader, View(1)), None);
+    }
+
+    #[test]
+    fn suggest_and_proof_snapshots() {
+        let mut regs = Registers::new(&cfg());
+        let data = SuggestData::default();
+        regs.record(NodeId(0), &Message::Suggest { view: View(2), data });
+        regs.record(NodeId(1), &Message::Suggest { view: View(2), data });
+        regs.record(NodeId(2), &Message::Suggest { view: View(3), data });
+        assert_eq!(regs.suggests_at(View(2)).len(), 2);
+        assert_eq!(regs.suggests_at(View(3)).len(), 1);
+        assert_eq!(regs.proofs_at(View(2)).len(), 0);
+    }
+
+    #[test]
+    fn view_change_support_counts_at_or_above() {
+        let mut regs = Registers::new(&cfg());
+        regs.record(NodeId(0), &Message::ViewChange { view: View(1) });
+        regs.record(NodeId(1), &Message::ViewChange { view: View(2) });
+        regs.record(NodeId(2), &Message::ViewChange { view: View(5) });
+        assert_eq!(regs.view_change_support(View(1)), 3);
+        assert_eq!(regs.view_change_support(View(2)), 2);
+        assert_eq!(regs.view_change_support(View(5)), 1);
+        assert_eq!(regs.view_change_support(View(6)), 0);
+        assert_eq!(
+            regs.view_change_candidates(View(1)),
+            vec![View(5), View(2)]
+        );
+    }
+
+    #[test]
+    fn view_change_register_is_monotone() {
+        let mut regs = Registers::new(&cfg());
+        regs.record(NodeId(0), &Message::ViewChange { view: View(4) });
+        regs.record(NodeId(0), &Message::ViewChange { view: View(2) });
+        assert_eq!(regs.peer(NodeId(0)).view_change(), Some(View(4)));
+    }
+}

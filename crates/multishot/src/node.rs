@@ -1,0 +1,727 @@
+//! The Multi-shot TetraBFT node (Algorithms 2 and 3).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use tetrabft::rules::{leader_determine_safe, node_determine_safe};
+use tetrabft::{Message as CoreMessage, Params, ProofData, SuggestData};
+use tetrabft_sim::{Context, Input, Node, TimerId};
+use tetrabft_types::{Config, NodeId, Phase, Slot, Value, View};
+
+use crate::block::{Block, BlockHash, GENESIS_HASH};
+use crate::instance::SlotInstance;
+use crate::msg::MsMessage;
+use crate::store::BlockStore;
+
+/// How many slots may be in flight beyond the last finalized block.
+///
+/// The finality lag is 4 slots and at most 5 blocks can abort (Section 6.2),
+/// so 8 gives comfortable headroom while keeping protocol state O(window·n).
+pub const SLOT_WINDOW: u64 = 8;
+
+/// Maximum transactions a leader packs into one block.
+const MAX_BLOCK_TXS: usize = 64;
+
+/// The "fresh block" sentinel passed to Rule 1 as the leader's default
+/// value: block hashes are never 0 (see [`Block::hash`]), so when
+/// Algorithm 4 certifies this value the leader is free to mint a new block.
+const FRESH: Value = Value([0; 8]);
+
+/// A finalization event: `block` is now immutable at `slot` on every
+/// well-behaved node's chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finalized {
+    /// Height of the finalized block.
+    pub slot: Slot,
+    /// Digest of the finalized block.
+    pub hash: BlockHash,
+    /// The block itself.
+    pub block: Block,
+}
+
+/// A well-behaved Multi-shot TetraBFT node.
+///
+/// Emits a [`Finalized`] output for every block, in strict slot order; the
+/// consistency property (Definition 2) says these sequences are
+/// prefix-comparable across well-behaved nodes.
+///
+/// # Examples
+///
+/// See the crate-level example for the pipelined good case.
+#[derive(Debug)]
+pub struct MultiShotNode {
+    cfg: Config,
+    params: Params,
+    me: NodeId,
+    store: BlockStore,
+    instances: BTreeMap<Slot, SlotInstance>,
+    /// Highest finalized slot (0 = genesis) and its block hash.
+    finalized: Slot,
+    finalized_hash: BlockHash,
+    /// Per-peer latest vote whose block is not yet known.
+    pending: Vec<Option<(Slot, View, BlockHash)>>,
+    /// Per-peer latest raw view-change pair (for echoing).
+    vc_raw: Vec<Option<(Slot, View)>>,
+    /// Highest view-change this node broadcast.
+    vc_sent: Option<(Slot, View)>,
+    /// Transactions waiting to be packed into a block by this node when it
+    /// leads a slot.
+    mempool: VecDeque<Vec<u8>>,
+}
+
+impl MultiShotNode {
+    /// Creates a node starting at the genesis block.
+    pub fn new(cfg: Config, params: Params, me: NodeId) -> Self {
+        MultiShotNode {
+            cfg,
+            params,
+            me,
+            store: BlockStore::new(),
+            instances: BTreeMap::new(),
+            finalized: Slot::GENESIS,
+            finalized_hash: GENESIS_HASH,
+            pending: vec![None; cfg.n()],
+            vc_raw: vec![None; cfg.n()],
+            vc_sent: None,
+            mempool: VecDeque::new(),
+        }
+    }
+
+    /// Queues a transaction; it will be included the next time this node
+    /// leads a slot (liveness: if every node queues it, it eventually lands
+    /// in the finalized chain).
+    pub fn submit_tx(&mut self, tx: Vec<u8>) {
+        self.mempool.push_back(tx);
+    }
+
+    /// Highest finalized slot.
+    pub fn finalized_slot(&self) -> Slot {
+        self.finalized
+    }
+
+    /// Number of live slot instances (bounded by [`SLOT_WINDOW`]).
+    pub fn active_slots(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Leader of `slot` at `view`: round-robin over `slot + view` so that
+    /// consecutive slots pipeline under distinct leaders (Fig. 2) and a view
+    /// change rotates a slot to a fresh leader.
+    pub fn leader_of(cfg: &Config, slot: Slot, view: View) -> NodeId {
+        cfg.leader_of(View(slot.0.wrapping_add(view.0)))
+    }
+
+    fn leader(&self, slot: Slot, view: View) -> NodeId {
+        Self::leader_of(&self.cfg, slot, view)
+    }
+
+    fn timer_for(slot: Slot) -> TimerId {
+        TimerId(slot.0 as u32)
+    }
+
+    fn ensure_instance(&mut self, slot: Slot, ctx: &mut Ctx<'_>) {
+        if slot <= self.finalized || slot.0 > self.finalized.0 + SLOT_WINDOW {
+            return;
+        }
+        if self.instances.contains_key(&slot) {
+            return;
+        }
+        // Fresh instances start with a clean view-change slate: a
+        // view-change applies to the slots that were active (aborted) when
+        // it circulated, not to slots that start later — those "default to
+        // starting from view 0" (Fig. 3's slot 4). Seeding fresh slots from
+        // old requests would hand them straight to a potentially-dead
+        // rotated leader.
+        let inst = SlotInstance::new(&self.cfg, slot);
+        self.instances.insert(slot, inst);
+        ctx.set_timer(Self::timer_for(slot), self.params.view_timeout());
+    }
+
+    // ---- message intake --------------------------------------------------
+
+    fn on_message(&mut self, from: NodeId, msg: MsMessage, ctx: &mut Ctx<'_>) {
+        match msg {
+            MsMessage::Proposal { view, block } => self.on_proposal(from, view, block, ctx),
+            MsMessage::Vote { slot, view, hash } => self.on_vote(from, slot, view, hash),
+            MsMessage::Suggest { slot, view, data } => {
+                if let Some(inst) = self.instances.get_mut(&slot) {
+                    inst.regs.record(from, &CoreMessage::Suggest { view, data });
+                }
+            }
+            MsMessage::Proof { slot, view, data } => {
+                if let Some(inst) = self.instances.get_mut(&slot) {
+                    inst.regs.record(from, &CoreMessage::Proof { view, data });
+                }
+            }
+            MsMessage::ViewChange { slot, view } => self.on_view_change(from, slot, view),
+        }
+    }
+
+    fn on_proposal(&mut self, from: NodeId, view: View, block: Block, ctx: &mut Ctx<'_>) {
+        let slot = block.slot;
+        if slot <= self.finalized || slot.0 > self.finalized.0 + SLOT_WINDOW {
+            return;
+        }
+        if from != self.leader(slot, view) {
+            return; // not the leader of (slot, view): ignore the imposter
+        }
+        let hash = self.store.insert(block);
+        self.ensure_instance(slot, ctx);
+        // Receiving the proposal for slot s starts slot s+1 and its timer
+        // (Algorithm 3 line 4).
+        self.ensure_instance(slot.next(), ctx);
+        if let Some(inst) = self.instances.get_mut(&slot) {
+            inst.saw_proposal = true;
+            inst.regs.record(from, &CoreMessage::Proposal { view, value: hash.as_value() });
+        }
+        self.retry_pending();
+    }
+
+    fn on_vote(&mut self, from: NodeId, slot: Slot, view: View, hash: BlockHash) {
+        if slot <= self.finalized || slot.0 > self.finalized.0 + SLOT_WINDOW {
+            return;
+        }
+        if self.store.slot_of(hash) == Some(slot) {
+            self.apply_vote(from, slot, view, hash);
+        } else {
+            // Unknown block: stash the latest such vote per peer and replay
+            // it once the block arrives (constant storage per peer).
+            self.pending[from.index()] = Some((slot, view, hash));
+        }
+    }
+
+    /// Fans one multiplexed vote out to its four roles: `vote-k` for slot
+    /// `slot − k + 1` endorsing the `(k−1)`-th ancestor of `hash`.
+    fn apply_vote(&mut self, from: NodeId, slot: Slot, view: View, hash: BlockHash) {
+        for k in 0u64..4 {
+            let Some(target) = slot.0.checked_sub(k).map(Slot) else { break };
+            if target <= self.finalized {
+                break;
+            }
+            let Some(ancestor) = self.store.ancestor(hash, k as usize) else { break };
+            let phase = Phase::from_u8(k as u8 + 1).expect("k+1 in 1..=4");
+            if let Some(inst) = self.instances.get_mut(&target) {
+                inst.regs.record(
+                    from,
+                    &CoreMessage::Vote { phase, view, value: ancestor.as_value() },
+                );
+            }
+        }
+    }
+
+    fn retry_pending(&mut self) {
+        for peer in 0..self.cfg.n() {
+            if let Some((slot, view, hash)) = self.pending[peer] {
+                if self.store.slot_of(hash) == Some(slot) {
+                    self.pending[peer] = None;
+                    self.apply_vote(NodeId(peer as u16), slot, view, hash);
+                }
+            }
+        }
+    }
+
+    fn on_view_change(&mut self, from: NodeId, slot: Slot, view: View) {
+        // Raw register (for echo): prefer higher view, then lower slot
+        // (a lower slot covers strictly more of the chain).
+        let raw = &mut self.vc_raw[from.index()];
+        let better = match raw {
+            None => true,
+            Some((s_h, v_h)) => view > *v_h || (view == *v_h && slot < *s_h),
+        };
+        if better {
+            *raw = Some((slot, view));
+        }
+        // Per-slot support: the request covers every active slot ≥ slot.
+        for (s, inst) in self.instances.iter_mut() {
+            if *s >= slot {
+                inst.support(from.index(), view);
+            }
+        }
+    }
+
+    // ---- timers ----------------------------------------------------------
+
+    fn on_timeout(&mut self, slot: Slot, ctx: &mut Ctx<'_>) {
+        let Some(inst) = self.instances.get_mut(&slot) else { return };
+        inst.timer_expired = true;
+        let target = inst.view.next();
+        // One view-change per stalled slot (Algorithm 3 lines 6–8); the
+        // re-armed timer doubles as post-GST retransmission.
+        self.note_vc_sent(slot, target);
+        ctx.broadcast(MsMessage::ViewChange { slot, view: target });
+        ctx.set_timer(Self::timer_for(slot), self.params.view_timeout());
+    }
+
+    fn note_vc_sent(&mut self, slot: Slot, view: View) {
+        let better = match self.vc_sent {
+            None => true,
+            Some((s_h, v_h)) => view > v_h || (view == v_h && slot < s_h),
+        };
+        if better {
+            self.vc_sent = Some((slot, view));
+        }
+    }
+
+    // ---- protocol steps --------------------------------------------------
+
+    fn drive(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let mut dirty = false;
+            dirty |= self.step_echo(ctx);
+            let slots: Vec<Slot> = self.instances.keys().copied().collect();
+            for slot in slots {
+                dirty |= self.step_enter_view(slot, ctx);
+                dirty |= self.step_notarize(slot);
+                dirty |= self.step_propose(slot, ctx);
+                dirty |= self.step_vote(slot, ctx);
+            }
+            dirty |= self.step_finalize(ctx);
+            if !dirty {
+                break;
+            }
+        }
+    }
+
+    /// Echo a view-change supported by a blocking set (Algorithm 2 lines
+    /// 3–6), so that correct nodes converge on the change within one delay.
+    fn step_echo(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let mut pairs: Vec<(Slot, View)> = self.vc_raw.iter().flatten().copied().collect();
+        pairs.sort_unstable_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+        pairs.dedup();
+        for (slot, view) in pairs {
+            if self.vc_sent.is_some_and(|(_, v)| v >= view) {
+                continue;
+            }
+            let support = self
+                .vc_raw
+                .iter()
+                .flatten()
+                .filter(|(s_p, v_p)| *s_p <= slot && *v_p >= view)
+                .count();
+            if self.cfg.is_blocking(support) {
+                self.note_vc_sent(slot, view);
+                ctx.broadcast(MsMessage::ViewChange { slot, view });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Move a slot to a higher view once a quorum supports it (Algorithm 2
+    /// lines 7–11): abort the slot, reset its timer, and send the per-slot
+    /// suggest/proof that seed Rule 1 / Rule 3 in the new view.
+    fn step_enter_view(&mut self, slot: Slot, ctx: &mut Ctx<'_>) -> bool {
+        let params = self.params;
+        let leader = {
+            let inst = self.instances.get(&slot).expect("caller checked");
+            let Some(target) = inst.quorum_view(self.cfg.quorum()) else { return false };
+            if target <= inst.view {
+                return false;
+            }
+            // Never-proposed slots stay in view 0 (Algorithm 3 line 10,
+            // Fig. 3's slot 4) unless their own timer says the view-0
+            // leader is dead.
+            if !inst.saw_proposal && !inst.timer_expired {
+                return false;
+            }
+            self.leader(slot, target)
+        };
+        let inst = self.instances.get_mut(&slot).expect("caller checked");
+        let target = inst.quorum_view(self.cfg.quorum()).expect("checked above");
+        inst.view = target;
+        inst.proposed = false;
+        inst.timer_expired = false;
+        ctx.set_timer(Self::timer_for(slot), params.view_timeout());
+        let (vote2, prev_vote2, vote3) = inst.book.suggest_fields();
+        ctx.send(
+            leader,
+            MsMessage::Suggest {
+                slot,
+                view: target,
+                data: SuggestData { vote2, prev_vote2, vote3 },
+            },
+        );
+        let (vote1, prev_vote1, vote4) = inst.book.proof_fields();
+        ctx.broadcast(MsMessage::Proof {
+            slot,
+            view: target,
+            data: ProofData { vote1, prev_vote1, vote4 },
+        });
+        true
+    }
+
+    /// A block is notarized on a quorum of (phase-1) votes, across views —
+    /// Fig. 3 counts view-0 votes at slot 4 toward view-1 blocks' finality.
+    fn step_notarize(&mut self, slot: Slot) -> bool {
+        let quorum = self.cfg.quorum();
+        let inst = self.instances.get_mut(&slot).expect("caller checked");
+        if inst.notarized.is_some() {
+            return false;
+        }
+        let Some((value, _)) = inst
+            .regs
+            .vote_value_tallies(Phase::VOTE1)
+            .into_iter()
+            .find(|(_, count)| *count >= quorum)
+        else {
+            return false;
+        };
+        inst.notarized = Some(BlockHash::from_value(value));
+        true
+    }
+
+    /// The leader proposes: in view 0, as soon as the parent chain allows
+    /// (pipelining — Fig. 2); in later views, once Rule 1 certifies a safe
+    /// value from the slot's suggest messages.
+    fn step_propose(&mut self, slot: Slot, ctx: &mut Ctx<'_>) -> bool {
+        let inst = self.instances.get(&slot).expect("caller checked");
+        let view = inst.view;
+        if inst.proposed || self.leader(slot, view) != self.me {
+            return false;
+        }
+        let block = if view.is_zero() {
+            let Some(parent) = self.parent_ready(slot) else { return false };
+            self.build_block(slot, parent)
+        } else {
+            let suggests = inst.regs.suggests_at(view);
+            match leader_determine_safe(&self.cfg, &suggests, view, FRESH) {
+                None => return false,
+                Some(v) if v == FRESH => {
+                    let Some(parent) = self.parent_ready(slot) else { return false };
+                    self.build_block(slot, parent)
+                }
+                Some(v) => {
+                    // Re-propose the certified block; without its content we
+                    // must wait (block dissemination is assumed, DESIGN.md §6).
+                    let hash = BlockHash::from_value(v);
+                    match self.store.get(hash) {
+                        Some(b) if b.slot == slot => b.clone(),
+                        _ => return false,
+                    }
+                }
+            }
+        };
+        self.store.insert(block.clone());
+        let inst = self.instances.get_mut(&slot).expect("caller checked");
+        inst.proposed = true;
+        ctx.broadcast(MsMessage::Proposal { view, block });
+        true
+    }
+
+    /// The parent block a new slot-`slot` block must extend: the block
+    /// proposed for `slot − 1` in its current view, whose own parent is
+    /// already notarized ("upon receiving bᵢ and confirming … bᵢ₋₁ has
+    /// received a quorum of votes, bᵢ extends bᵢ₋₁").
+    fn parent_ready(&self, slot: Slot) -> Option<BlockHash> {
+        let prev = slot.prev()?;
+        if prev == self.finalized {
+            return Some(self.finalized_hash);
+        }
+        let pinst = self.instances.get(&prev)?;
+        // Pipelined path: the block proposed for prev in its current view,
+        // provided *its* parent already has a quorum of votes.
+        let leader = self.leader(prev, pinst.view);
+        if let Some(value) = pinst.regs.proposal_of(leader, pinst.view) {
+            let hash = BlockHash::from_value(value);
+            if let Some(block) = self.store.get(hash) {
+                let grandparent_ok = match prev.prev() {
+                    Some(gp) if gp == self.finalized => block.parent == self.finalized_hash,
+                    Some(gp) => self
+                        .instances
+                        .get(&gp)
+                        .is_some_and(|gi| gi.notarized == Some(block.parent)),
+                    None => true,
+                };
+                if grandparent_ok {
+                    return Some(hash);
+                }
+            }
+        }
+        // Recovery path: a notarized prev block satisfies the paper's
+        // "b_{i−1} has received a quorum of votes" directly, even when the
+        // current view of prev has no proposal yet (its leader may be the
+        // very node whose failure triggered recovery).
+        pinst.notarized.filter(|h| self.store.contains(*h))
+    }
+
+    fn build_block(&mut self, slot: Slot, parent: BlockHash) -> Block {
+        let take = self.mempool.len().min(MAX_BLOCK_TXS);
+        let txs: Vec<Vec<u8>> = self.mempool.drain(..take).collect();
+        Block::new(slot, parent, txs)
+    }
+
+    /// Vote for the slot's proposal once its parent is notarized and (in
+    /// views > 0) Rule 3 certifies it; the one vote message carries all
+    /// four roles, recorded into the four ancestor slots' books.
+    fn step_vote(&mut self, slot: Slot, ctx: &mut Ctx<'_>) -> bool {
+        let inst = self.instances.get(&slot).expect("caller checked");
+        let view = inst.view;
+        if inst.book.has_voted_at_or_after(Phase::VOTE1, view) {
+            return false;
+        }
+        let leader = self.leader(slot, view);
+        let Some(value) = inst.regs.proposal_of(leader, view) else { return false };
+        let hash = BlockHash::from_value(value);
+        let Some(block) = self.store.get(hash) else { return false };
+        if block.slot != slot {
+            return false;
+        }
+        // Parent must be notarized (genesis/finalized prefix counts).
+        let parent_ok = match slot.prev() {
+            Some(prev) if prev == self.finalized => block.parent == self.finalized_hash,
+            Some(prev) => self
+                .instances
+                .get(&prev)
+                .is_some_and(|pi| pi.notarized == Some(block.parent)),
+            None => false, // slot 0 is genesis; never voted on
+        };
+        if !parent_ok {
+            return false;
+        }
+        let safe = view.is_zero()
+            || node_determine_safe(&self.cfg, &inst.regs.proofs_at(view), view, value);
+        if !safe {
+            return false;
+        }
+        // Record the four roles this vote plays in the ancestors' books.
+        for k in 0u64..4 {
+            let Some(target) = slot.0.checked_sub(k).map(Slot) else { break };
+            if target <= self.finalized {
+                break;
+            }
+            let Some(ancestor) = self.store.ancestor(hash, k as usize) else { break };
+            let phase = Phase::from_u8(k as u8 + 1).expect("k+1 in 1..=4");
+            if let Some(ti) = self.instances.get_mut(&target) {
+                ti.book.record(phase, view, ancestor.as_value());
+            }
+        }
+        ctx.broadcast(MsMessage::Vote { slot, view, hash });
+        true
+    }
+
+    /// Finalize the longest prefix backed by a quorum of (phase-4 role)
+    /// votes — equivalently, the first of four consecutively notarized
+    /// blocks plus its prefix.
+    fn step_finalize(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        // Highest slot with a phase-4 quorum whose chain back to the
+        // finalized tip is fully known.
+        let quorum = self.cfg.quorum();
+        let mut best: Option<(Slot, BlockHash)> = None;
+        for (slot, inst) in &self.instances {
+            if let Some((value, _)) = inst
+                .regs
+                .vote_value_tallies(Phase::VOTE4)
+                .into_iter()
+                .find(|(_, count)| *count >= quorum)
+            {
+                best = Some((*slot, BlockHash::from_value(value)));
+            }
+        }
+        let Some((slot, hash)) = best else { return false };
+        // Collect the chain from `hash` down to the current finalized tip.
+        let mut chain: Vec<(Slot, BlockHash, Block)> = Vec::new();
+        let mut cursor = hash;
+        let mut cursor_slot = slot;
+        while cursor_slot > self.finalized {
+            let Some(block) = self.store.get(cursor) else { return false };
+            if block.slot != cursor_slot {
+                return false;
+            }
+            chain.push((cursor_slot, cursor, block.clone()));
+            cursor = block.parent;
+            cursor_slot = match cursor_slot.prev() {
+                Some(p) => p,
+                None => return false,
+            };
+        }
+        if cursor != self.finalized_hash {
+            return false; // fork against our finalized prefix: impossible
+                          // for well-behaved inputs (agreement), bail out.
+        }
+        chain.reverse();
+        for (s, h, block) in chain {
+            ctx.output(Finalized { slot: s, hash: h, block });
+            ctx.cancel_timer(Self::timer_for(s));
+            self.instances.remove(&s);
+            self.finalized = s;
+            self.finalized_hash = h;
+        }
+        // Keep a short tail of finalized blocks: in-flight votes may still
+        // reference them as ancestors.
+        self.store.prune_below(Slot(self.finalized.0.saturating_sub(4)));
+        true
+    }
+}
+
+type Ctx<'a> = Context<'a, MsMessage, Finalized>;
+
+impl Node for MultiShotNode {
+    type Msg = MsMessage;
+    type Output = Finalized;
+
+    fn handle(&mut self, input: Input<MsMessage>, ctx: &mut Ctx<'_>) {
+        match input {
+            Input::Start => {
+                self.ensure_instance(Slot(1), ctx);
+                self.drive(ctx);
+            }
+            Input::Deliver { from, msg } => {
+                self.on_message(from, msg, ctx);
+                self.drive(ctx);
+            }
+            Input::Timer { id } => {
+                self.on_timeout(Slot(u64::from(id.0)), ctx);
+                self.drive(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrabft_sim::{LinkPolicy, SimBuilder, Time};
+
+    fn cfg(n: usize) -> Config {
+        Config::new(n).unwrap()
+    }
+
+    fn chain_of(
+        sim: &tetrabft_sim::Sim<MsMessage, Finalized>,
+        node: NodeId,
+    ) -> Vec<(Slot, BlockHash)> {
+        sim.outputs()
+            .iter()
+            .filter(|o| o.node == node)
+            .map(|o| (o.output.slot, o.output.hash))
+            .collect()
+    }
+
+    fn assert_consistency(sim: &tetrabft_sim::Sim<MsMessage, Finalized>, n: usize) {
+        let chains: Vec<_> = (0..n as u16).map(|i| chain_of(sim, NodeId(i))).collect();
+        for chain in &chains {
+            // Slots are contiguous from 1.
+            for (i, (slot, _)) in chain.iter().enumerate() {
+                assert_eq!(slot.0, i as u64 + 1, "finalization order must be slot order");
+            }
+        }
+        let longest = chains.iter().max_by_key(|c| c.len()).unwrap();
+        for chain in &chains {
+            assert_eq!(
+                &longest[..chain.len()],
+                &chain[..],
+                "finalized chains must be prefix-comparable"
+            );
+        }
+    }
+
+    #[test]
+    fn good_case_one_block_per_delay() {
+        let n = 4;
+        let mut sim = SimBuilder::new(n)
+            .policy(LinkPolicy::synchronous(1))
+            .build(|id| MultiShotNode::new(cfg(4), Params::new(100), id));
+        sim.run_until(Time(30));
+        let chain = chain_of(&sim, NodeId(0));
+        assert!(chain.len() >= 24, "expected ~1 block/delay, got {}", chain.len());
+        let times: Vec<u64> = sim
+            .outputs()
+            .iter()
+            .filter(|o| o.node == NodeId(0))
+            .map(|o| o.time.0)
+            .collect();
+        assert_eq!(times[0], 5, "first finalization at 5 message delays");
+        for pair in times.windows(2) {
+            assert_eq!(pair[1] - pair[0], 1, "then one block per message delay");
+        }
+        assert_consistency(&sim, n);
+    }
+
+    #[test]
+    fn active_state_stays_bounded() {
+        let mut sim = SimBuilder::new(4)
+            .policy(LinkPolicy::synchronous(1))
+            .build(|id| MultiShotNode::new(cfg(4), Params::new(100), id));
+        sim.run_until(Time(200));
+        // Can't reach into nodes generically; bound check via window const:
+        // instances ≤ SLOT_WINDOW by construction. Assert the chain grew a
+        // lot while the window constant stayed small.
+        let chain = chain_of(&sim, NodeId(0));
+        assert!(chain.len() > 150);
+        // SLOT_WINDOW (8) bounds live instances structurally; the chain
+        // above grew ~25x past it without unbounded protocol state.
+    }
+
+    #[test]
+    fn crashed_slot_leader_recovers_via_view_change() {
+        // Node 3 is silent; it leads slots 3, 7, 11, … (view 0). The chain
+        // must stall there, view-change, and continue.
+        let n = 4;
+        let mut sim = SimBuilder::new(n)
+            .policy(LinkPolicy::synchronous(1))
+            .build_boxed(|id| {
+                if id == NodeId(3) {
+                    Box::new(tetrabft_sim::SilentNode::new())
+                } else {
+                    Box::new(MultiShotNode::new(cfg(4), Params::new(5), id))
+                }
+            });
+        sim.run_until(Time(400));
+        let chain = chain_of(&sim, NodeId(0));
+        assert!(
+            chain.iter().any(|(s, _)| s.0 >= 4),
+            "chain must pass the dead leader's slot, got up to {:?}",
+            chain.last()
+        );
+        assert_consistency(&sim, n);
+    }
+
+    #[test]
+    fn jittered_network_keeps_chains_consistent() {
+        for seed in 0..5 {
+            let n = 4;
+            let mut sim = SimBuilder::new(n)
+                .seed(seed)
+                .policy(LinkPolicy::jittered(1, 6))
+                .build(|id| MultiShotNode::new(cfg(4), Params::new(30), id));
+            sim.run_until(Time(600));
+            assert_consistency(&sim, n);
+            assert!(
+                !chain_of(&sim, NodeId(0)).is_empty(),
+                "some blocks must finalize under jitter (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn submitted_transaction_reaches_the_chain() {
+        let n = 4;
+        let tx = b"pay alice 5".to_vec();
+        let tx2 = tx.clone();
+        let mut sim = SimBuilder::new(n)
+            .policy(LinkPolicy::synchronous(1))
+            .build(move |id| {
+                let mut node = MultiShotNode::new(cfg(4), Params::new(100), id);
+                node.submit_tx(tx2.clone());
+                node
+            });
+        sim.run_until(Time(40));
+        let included = sim
+            .outputs()
+            .iter()
+            .filter(|o| o.node == NodeId(0))
+            .any(|o| o.output.block.txs.iter().any(|t| t == &tx));
+        assert!(included, "submitted tx must be included in the finalized chain");
+    }
+
+    #[test]
+    fn pre_gst_chaos_then_progress() {
+        let n = 4;
+        let mut sim = SimBuilder::new(n)
+            .policy(LinkPolicy::partial_synchrony(Time(200), 10, 1))
+            .build(|id| MultiShotNode::new(cfg(4), Params::new(10), id));
+        sim.run_until(Time(1500));
+        assert_consistency(&sim, n);
+        let chain = chain_of(&sim, NodeId(0));
+        assert!(!chain.is_empty(), "chain must grow after GST");
+    }
+}

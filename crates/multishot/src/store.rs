@@ -1,0 +1,157 @@
+//! Windowed block storage with ancestor resolution.
+
+use std::collections::HashMap;
+
+use tetrabft_types::Slot;
+
+use crate::block::{Block, BlockHash, GENESIS_HASH};
+
+/// Stores the blocks a node currently needs: everything in the active
+/// pipeline window plus a short finalized tail (parents of in-flight votes).
+///
+/// Pruning keeps the store O(window) — multi-shot TetraBFT's protocol state
+/// stays bounded; only the *application* (the output chain) grows.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_multishot::{Block, BlockStore, GENESIS_HASH};
+/// use tetrabft_types::Slot;
+///
+/// let mut store = BlockStore::new();
+/// let b1 = Block::new(Slot(1), GENESIS_HASH, vec![]);
+/// let h1 = store.insert(b1);
+/// let b2 = Block::new(Slot(2), h1, vec![]);
+/// let h2 = store.insert(b2);
+/// assert_eq!(store.ancestor(h2, 1), Some(h1));
+/// assert_eq!(store.ancestor(h2, 2), Some(GENESIS_HASH));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    blocks: HashMap<BlockHash, Block>,
+}
+
+impl BlockStore {
+    /// Creates a store containing only the implicit genesis block.
+    pub fn new() -> Self {
+        BlockStore::default()
+    }
+
+    /// Inserts `block`, returning its hash. Idempotent.
+    pub fn insert(&mut self, block: Block) -> BlockHash {
+        let hash = block.hash();
+        self.blocks.entry(hash).or_insert(block);
+        hash
+    }
+
+    /// Looks up a block. The genesis hash is always known (slot 0).
+    pub fn get(&self, hash: BlockHash) -> Option<&Block> {
+        self.blocks.get(&hash)
+    }
+
+    /// `true` if the hash names the genesis block or a stored block.
+    pub fn contains(&self, hash: BlockHash) -> bool {
+        hash == GENESIS_HASH || self.blocks.contains_key(&hash)
+    }
+
+    /// The slot of `hash` (genesis is slot 0), if known.
+    pub fn slot_of(&self, hash: BlockHash) -> Option<Slot> {
+        if hash == GENESIS_HASH {
+            Some(Slot::GENESIS)
+        } else {
+            self.blocks.get(&hash).map(|b| b.slot)
+        }
+    }
+
+    /// Walks `k` parent links up from `hash`.
+    ///
+    /// Returns `None` when the walk leaves the store or would pass the
+    /// genesis block.
+    pub fn ancestor(&self, hash: BlockHash, k: usize) -> Option<BlockHash> {
+        let mut current = hash;
+        for _ in 0..k {
+            if current == GENESIS_HASH {
+                return None; // nothing above genesis
+            }
+            current = self.blocks.get(&current)?.parent;
+        }
+        Some(current)
+    }
+
+    /// Drops every block with a slot strictly below `floor` (genesis is
+    /// implicit and never dropped).
+    pub fn prune_below(&mut self, floor: Slot) {
+        self.blocks.retain(|_, b| b.slot >= floor);
+    }
+
+    /// Number of stored blocks (excluding the implicit genesis).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when no block beyond genesis is stored.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(len: u64) -> (BlockStore, Vec<BlockHash>) {
+        let mut store = BlockStore::new();
+        let mut hashes = vec![GENESIS_HASH];
+        for s in 1..=len {
+            let block = Block::new(Slot(s), *hashes.last().unwrap(), vec![]);
+            hashes.push(store.insert(block));
+        }
+        (store, hashes)
+    }
+
+    #[test]
+    fn ancestor_walks() {
+        let (store, h) = chain(4);
+        assert_eq!(store.ancestor(h[4], 0), Some(h[4]));
+        assert_eq!(store.ancestor(h[4], 1), Some(h[3]));
+        assert_eq!(store.ancestor(h[4], 4), Some(h[0]));
+        assert_eq!(store.ancestor(h[4], 5), None, "cannot pass genesis");
+    }
+
+    #[test]
+    fn unknown_hash_is_none() {
+        let (store, _) = chain(2);
+        assert_eq!(store.ancestor(BlockHash(0xBAD), 1), None);
+        assert!(!store.contains(BlockHash(0xBAD)));
+        assert!(store.contains(GENESIS_HASH));
+    }
+
+    #[test]
+    fn slot_of_genesis_and_blocks() {
+        let (store, h) = chain(2);
+        assert_eq!(store.slot_of(GENESIS_HASH), Some(Slot::GENESIS));
+        assert_eq!(store.slot_of(h[2]), Some(Slot(2)));
+        assert_eq!(store.slot_of(BlockHash(0xBAD)), None);
+    }
+
+    #[test]
+    fn pruning_bounds_the_store() {
+        let (mut store, h) = chain(10);
+        assert_eq!(store.len(), 10);
+        store.prune_below(Slot(8));
+        assert_eq!(store.len(), 3);
+        assert!(store.contains(h[9]));
+        assert!(!store.contains(h[7]));
+        assert!(store.contains(GENESIS_HASH), "genesis survives pruning");
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut store = BlockStore::new();
+        let b = Block::new(Slot(1), GENESIS_HASH, vec![b"t".to_vec()]);
+        let h1 = store.insert(b.clone());
+        let h2 = store.insert(b);
+        assert_eq!(h1, h2);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Localhost cluster orchestration.
+
+use std::io;
+
+use tokio::net::TcpListener;
+use tokio::sync::mpsc;
+
+use tetrabft_sim::Node;
+use tetrabft_types::NodeId;
+use tetrabft_wire::Wire;
+
+use crate::runner::{run_node, NodeHandle};
+
+/// A running localhost cluster: `n` nodes in one process, real TCP between
+/// them.
+///
+/// Dropping the cluster aborts every node task.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Cluster<O> {
+    outputs: mpsc::UnboundedReceiver<(NodeId, O)>,
+    handles: Vec<NodeHandle>,
+}
+
+impl<O> Cluster<O> {
+    /// Binds `n` ephemeral listeners on 127.0.0.1 and spawns one node per
+    /// listener, built by `make`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    pub async fn spawn<N, F>(n: usize, mut make: F) -> io::Result<Cluster<O>>
+    where
+        N: Node<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        O: Send + 'static,
+        F: FnMut(NodeId) -> N,
+    {
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0").await?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+        let (tx, rx) = mpsc::unbounded_channel();
+        let mut handles = Vec::with_capacity(n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let id = NodeId(i as u16);
+            let handle = run_node(make(id), id, listener, addrs.clone(), tx.clone()).await?;
+            handles.push(handle);
+        }
+        Ok(Cluster { outputs: rx, handles })
+    }
+
+    /// Waits for the next protocol output from any node.
+    pub async fn next_output(&mut self) -> Option<(NodeId, O)> {
+        self.outputs.recv().await
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// `true` if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+}

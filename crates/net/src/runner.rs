@@ -1,0 +1,236 @@
+//! Drives one protocol state machine over real sockets and timers.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+use tokio::task::JoinHandle;
+
+use tetrabft_sim::{Action, Context, Dest, Input, Node, Time, TimerId};
+use tetrabft_types::NodeId;
+use tetrabft_wire::frame::{encode_frame, FrameDecoder};
+use tetrabft_wire::Wire;
+
+/// Internal events multiplexed into the node's single-threaded loop.
+enum Event<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { id: TimerId, generation: u64 },
+}
+
+/// Handle to a running node task.
+#[derive(Debug)]
+pub struct NodeHandle {
+    task: JoinHandle<()>,
+}
+
+impl NodeHandle {
+    /// Stops the node.
+    pub fn abort(&self) {
+        self.task.abort();
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.task.abort();
+    }
+}
+
+/// Runs `node` as `me`, listening on `listener` and dialing `peers`
+/// (indexed by [`NodeId`]); outputs are forwarded to `outputs`.
+///
+/// One protocol tick is one millisecond of wall-clock time.
+///
+/// # Errors
+///
+/// Returns an error if the listener cannot accept; dialing retries forever
+/// (peers may start in any order).
+pub async fn run_node<N>(
+    mut node: N,
+    me: NodeId,
+    listener: TcpListener,
+    peers: Vec<SocketAddr>,
+    outputs: mpsc::UnboundedSender<(NodeId, N::Output)>,
+) -> io::Result<NodeHandle>
+where
+    N: Node + Send + 'static,
+    N::Msg: Wire + Send + 'static,
+    N::Output: Send + 'static,
+{
+    let n = peers.len();
+    let (event_tx, mut event_rx) = mpsc::unbounded_channel::<Event<N::Msg>>();
+
+    // Accept loop: each inbound connection announces its sender id in a
+    // 2-byte hello, then streams frames. The connection *is* the
+    // authenticated channel.
+    let accept_tx = event_tx.clone();
+    tokio::spawn(async move {
+        loop {
+            let Ok((stream, _)) = listener.accept().await else { return };
+            let tx = accept_tx.clone();
+            tokio::spawn(async move {
+                let _ = read_peer(stream, tx).await;
+            });
+        }
+    });
+
+    // Writer tasks: one per peer, fed bytes through a channel; dialing
+    // retries until the peer is up.
+    let mut writers: HashMap<NodeId, mpsc::UnboundedSender<Arc<Vec<u8>>>> = HashMap::new();
+    for (i, addr) in peers.iter().enumerate() {
+        let peer = NodeId(i as u16);
+        if peer == me {
+            continue;
+        }
+        let (tx, rx) = mpsc::unbounded_channel::<Arc<Vec<u8>>>();
+        writers.insert(peer, tx);
+        tokio::spawn(write_peer(me, *addr, rx));
+    }
+
+    let task = tokio::spawn(async move {
+        let start = tokio::time::Instant::now();
+        let mut generations: HashMap<TimerId, u64> = HashMap::new();
+
+        // Boot the state machine.
+        let mut actions: Vec<Action<N::Msg, N::Output>> = Vec::new();
+        {
+            let now = Time(start.elapsed().as_millis() as u64);
+            let mut ctx = Context::buffered(me, n, now, &mut actions);
+            node.handle(Input::Start, &mut ctx);
+        }
+        apply_actions::<N>(actions, me, &writers, &event_tx, &outputs, &mut generations);
+
+        while let Some(event) = event_rx.recv().await {
+            let input = match event {
+                Event::Deliver { from, msg } => Input::Deliver { from, msg },
+                Event::Timer { id, generation } => {
+                    if generations.get(&id) != Some(&generation) {
+                        continue; // stale (replaced or cancelled) timer
+                    }
+                    Input::Timer { id }
+                }
+            };
+            let mut actions: Vec<Action<N::Msg, N::Output>> = Vec::new();
+            {
+                let now = Time(start.elapsed().as_millis() as u64);
+                let mut ctx = Context::buffered(me, n, now, &mut actions);
+                node.handle(input, &mut ctx);
+            }
+            apply_actions::<N>(actions, me, &writers, &event_tx, &outputs, &mut generations);
+        }
+    });
+
+    Ok(NodeHandle { task })
+}
+
+fn apply_actions<N>(
+    actions: Vec<Action<N::Msg, N::Output>>,
+    me: NodeId,
+    writers: &HashMap<NodeId, mpsc::UnboundedSender<Arc<Vec<u8>>>>,
+    events: &mpsc::UnboundedSender<Event<N::Msg>>,
+    outputs: &mpsc::UnboundedSender<(NodeId, N::Output)>,
+    generations: &mut HashMap<TimerId, u64>,
+) where
+    N: Node,
+    N::Msg: Wire + Send + 'static,
+{
+    for action in actions {
+        match action {
+            Action::Send { dest, msg } => {
+                let bytes = Arc::new(encode_frame(&msg.to_bytes()));
+                match dest {
+                    Dest::All => {
+                        for tx in writers.values() {
+                            let _ = tx.send(bytes.clone());
+                        }
+                        // Loopback, like the simulator: instantaneous.
+                        let _ = events.send(Event::Deliver { from: me, msg });
+                    }
+                    Dest::Node(to) if to == me => {
+                        let _ = events.send(Event::Deliver { from: me, msg });
+                    }
+                    Dest::Node(to) => {
+                        if let Some(tx) = writers.get(&to) {
+                            let _ = tx.send(bytes);
+                        }
+                    }
+                }
+            }
+            Action::SetTimer { id, after } => {
+                let generation = generations.entry(id).or_insert(0);
+                *generation += 1;
+                let generation = *generation;
+                let events = events.clone();
+                tokio::spawn(async move {
+                    tokio::time::sleep(Duration::from_millis(after)).await;
+                    let _ = events.send(Event::Timer { id, generation });
+                });
+            }
+            Action::CancelTimer { id } => {
+                *generations.entry(id).or_insert(0) += 1;
+            }
+            Action::Output(output) => {
+                let _ = outputs.send((me, output));
+            }
+        }
+    }
+}
+
+async fn read_peer<M: Wire>(
+    mut stream: TcpStream,
+    events: mpsc::UnboundedSender<Event<M>>,
+) -> io::Result<()> {
+    let from = NodeId(stream.read_u16().await?);
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let read = stream.read(&mut buf).await?;
+        if read == 0 {
+            return Ok(());
+        }
+        decoder.extend(&buf[..read]);
+        while let Some(frame) = decoder
+            .next_frame()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        {
+            match M::from_bytes(&frame) {
+                Ok(msg) => {
+                    if events.send(Event::Deliver { from, msg }).is_err() {
+                        return Ok(()); // node shut down
+                    }
+                }
+                Err(_) => {
+                    // Malformed traffic is an adversarial act; ignore the
+                    // frame but keep the (authenticated) channel alive.
+                }
+            }
+        }
+    }
+}
+
+async fn write_peer(
+    me: NodeId,
+    addr: SocketAddr,
+    mut rx: mpsc::UnboundedReceiver<Arc<Vec<u8>>>,
+) {
+    // Dial with retry: peers boot in arbitrary order.
+    let mut stream = loop {
+        match TcpStream::connect(addr).await {
+            Ok(s) => break s,
+            Err(_) => tokio::time::sleep(Duration::from_millis(20)).await,
+        }
+    };
+    if stream.write_u16(me.0).await.is_err() {
+        return;
+    }
+    while let Some(bytes) = rx.recv().await {
+        if stream.write_all(&bytes).await.is_err() {
+            return;
+        }
+    }
+}

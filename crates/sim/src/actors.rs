@@ -1,0 +1,83 @@
+//! Generic actors for fault injection: crashed nodes and closure-driven
+//! Byzantine strategies.
+
+use std::marker::PhantomData;
+
+use crate::node::{Context, Input, Node, WireSize};
+
+/// A node that never sends anything — models a crashed / silent Byzantine
+/// node (the weakest adversary, but enough to force view changes).
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_sim::SilentNode;
+/// let _crash: SilentNode<u8, ()> = SilentNode::new();
+/// ```
+#[derive(Debug)]
+pub struct SilentNode<M, O> {
+    _marker: PhantomData<fn() -> (M, O)>,
+}
+
+impl<M, O> SilentNode<M, O> {
+    /// Creates a silent node.
+    pub fn new() -> Self {
+        SilentNode { _marker: PhantomData }
+    }
+}
+
+impl<M, O> Default for SilentNode<M, O> {
+    fn default() -> Self {
+        SilentNode::new()
+    }
+}
+
+impl<M: WireSize + Clone, O> Node for SilentNode<M, O> {
+    type Msg = M;
+    type Output = O;
+    fn handle(&mut self, _input: Input<M>, _ctx: &mut Context<'_, M, O>) {}
+}
+
+/// A node driven by a closure — the building block for protocol-specific
+/// Byzantine strategies (equivocators, value spammers, stale-view replayers).
+///
+/// # Examples
+///
+/// A node that echoes every message back to its sender:
+///
+/// ```
+/// use tetrabft_sim::{FnNode, Input};
+///
+/// # #[derive(Clone)] struct M;
+/// # impl tetrabft_sim::WireSize for M { fn wire_size(&self) -> usize { 1 } }
+/// let echo = FnNode::<M, (), _>::new(|input, ctx| {
+///     if let Input::Deliver { from, msg } = input {
+///         ctx.send(from, msg);
+///     }
+/// });
+/// ```
+pub struct FnNode<M, O, F> {
+    f: F,
+    _marker: PhantomData<fn() -> (M, O)>,
+}
+
+impl<M, O, F> FnNode<M, O, F>
+where
+    F: FnMut(Input<M>, &mut Context<'_, M, O>),
+{
+    /// Wraps `f` as a node.
+    pub fn new(f: F) -> Self {
+        FnNode { f, _marker: PhantomData }
+    }
+}
+
+impl<M: WireSize + Clone, O, F> Node for FnNode<M, O, F>
+where
+    F: FnMut(Input<M>, &mut Context<'_, M, O>),
+{
+    type Msg = M;
+    type Output = O;
+    fn handle(&mut self, input: Input<M>, ctx: &mut Context<'_, M, O>) {
+        (self.f)(input, ctx)
+    }
+}

@@ -1,0 +1,169 @@
+//! The protocol-facing state-machine interface (sans-I/O).
+
+use tetrabft_types::NodeId;
+
+use crate::time::Time;
+
+/// How many bytes a message occupies on the wire.
+///
+/// The simulator charges this size to the communication metrics; protocol
+/// crates implement it by delegating to their codec's `wire_len`.
+pub trait WireSize {
+    /// Encoded size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Identifier of a protocol timer, chosen by the protocol.
+///
+/// Setting a timer with an id that is already pending *replaces* it; firing
+/// and cancellation are matched per id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u32);
+
+/// Destination of a send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// Every node in the system, including the sender (loopback is
+    /// delivered with zero delay and charged zero bytes).
+    All,
+    /// A single node.
+    Node(NodeId),
+}
+
+/// An input event delivered to a [`Node`].
+#[derive(Debug, Clone)]
+pub enum Input<M> {
+    /// The node boots; delivered exactly once at time zero.
+    Start,
+    /// A message arrived. `from` is trustworthy — this is precisely the
+    /// authenticated-channels assumption of the paper.
+    Deliver {
+        /// The true sender of the message.
+        from: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// A previously set timer fired.
+    Timer {
+        /// Which timer.
+        id: TimerId,
+    },
+}
+
+/// A deterministic protocol state machine.
+///
+/// Implementations must be pure: all effects go through the [`Context`].
+/// The same state machine is driven by the simulator, by the tokio runtime
+/// in `tetrabft-net`, and by schedule exploration in tests.
+pub trait Node {
+    /// Message type exchanged with peers.
+    type Msg: WireSize + Clone;
+    /// Protocol output (e.g. a decided value, a finalized block).
+    type Output;
+
+    /// Processes one input event, emitting effects into `ctx`.
+    fn handle(&mut self, input: Input<Self::Msg>, ctx: &mut Context<'_, Self::Msg, Self::Output>);
+}
+
+/// An effect a node asked its environment to perform.
+///
+/// The simulator interprets these internally; embedders (the tokio runtime
+/// in `tetrabft-net`, protocol wrappers like the repeated-single-shot
+/// baseline) obtain them via [`Context::buffered`].
+#[derive(Debug)]
+pub enum Action<M, O> {
+    /// Send `msg` to `dest`.
+    Send {
+        /// Destination (a node or everyone).
+        dest: Dest,
+        /// The message.
+        msg: M,
+    },
+    /// Arm (or re-arm) a timer.
+    SetTimer {
+        /// Which timer.
+        id: TimerId,
+        /// Ticks from now.
+        after: u64,
+    },
+    /// Cancel a pending timer.
+    CancelTimer {
+        /// Which timer.
+        id: TimerId,
+    },
+    /// Emit a protocol output.
+    Output(O),
+}
+
+/// Effect sink and environment view handed to [`Node::handle`].
+pub struct Context<'a, M, O> {
+    pub(crate) me: NodeId,
+    pub(crate) n: usize,
+    pub(crate) now: Time,
+    pub(crate) effects: &'a mut Vec<Action<M, O>>,
+}
+
+impl<'a, M, O> Context<'a, M, O> {
+    /// Creates a context that records every effect into `buf`, for driving
+    /// a [`Node`] outside the simulator (real runtimes, wrappers, tests).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tetrabft_sim::{Action, Context};
+    /// use tetrabft_types::NodeId;
+    ///
+    /// let mut buf: Vec<Action<u8, ()>> = Vec::new();
+    /// let mut ctx = Context::buffered(NodeId(0), 4, tetrabft_sim::Time(0), &mut buf);
+    /// ctx.send(NodeId(1), 42u8);
+    /// assert_eq!(buf.len(), 1);
+    /// ```
+    pub fn buffered(me: NodeId, n: usize, now: Time, buf: &'a mut Vec<Action<M, O>>) -> Self {
+        Context { me, n, now, effects: buf }
+    }
+}
+
+impl<M, O> Context<'_, M, O> {
+    /// This node's id.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the system.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual (or wall-clock-derived) time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` to a single node.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Action::Send { dest: Dest::Node(to), msg });
+    }
+
+    /// Broadcasts `msg` to every node, itself included.
+    pub fn broadcast(&mut self, msg: M) {
+        self.effects.push(Action::Send { dest: Dest::All, msg });
+    }
+
+    /// Arms (or re-arms) timer `id` to fire `after` ticks from now.
+    pub fn set_timer(&mut self, id: TimerId, after: u64) {
+        self.effects.push(Action::SetTimer { id, after });
+    }
+
+    /// Cancels timer `id` if pending.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Action::CancelTimer { id });
+    }
+
+    /// Emits a protocol output (decision, finalization, …).
+    pub fn output(&mut self, out: O) {
+        self.effects.push(Action::Output(out));
+    }
+}

@@ -1,0 +1,233 @@
+//! Network link policies: synchrony, partial synchrony, adversarial control.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tetrabft_types::NodeId;
+
+use crate::time::Time;
+
+/// Everything a policy may condition a routing decision on.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteEnv {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Send time.
+    pub now: Time,
+    /// Encoded message size in bytes.
+    pub size: usize,
+}
+
+/// Outcome of routing one message over one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Deliver at the given absolute time (must be ≥ send time).
+    DeliverAt(Time),
+    /// Silently lose the message (only legitimate before GST).
+    Drop,
+}
+
+/// A fully scripted routing function.
+type ScriptFn = Box<dyn FnMut(RouteEnv, &mut StdRng) -> Route + Send>;
+
+enum PolicyKind {
+    Synchronous {
+        delay: u64,
+    },
+    PartialSynchrony {
+        gst: Time,
+        delta: u64,
+        actual: u64,
+        drop_before_gst: bool,
+    },
+    Jittered {
+        min: u64,
+        max: u64,
+    },
+    Scripted(ScriptFn),
+}
+
+/// Decides, per message, when (or whether) it is delivered.
+///
+/// The built-in constructors cover every scenario the paper's evaluation
+/// needs; [`LinkPolicy::scripted`] admits arbitrary adversarial schedules.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_sim::{LinkPolicy, Time};
+/// // Synchronous network, one tick per hop (latency in message delays).
+/// let _unit = LinkPolicy::synchronous(1);
+/// // Asynchronous until t=50 (messages lost), then delivery within Δ=10,
+/// // actually arriving after δ=2.
+/// let _ps = LinkPolicy::partial_synchrony(Time(50), 10, 2);
+/// ```
+pub struct LinkPolicy {
+    kind: PolicyKind,
+}
+
+impl std::fmt::Debug for LinkPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self.kind {
+            PolicyKind::Synchronous { .. } => "Synchronous",
+            PolicyKind::PartialSynchrony { .. } => "PartialSynchrony",
+            PolicyKind::Jittered { .. } => "Jittered",
+            PolicyKind::Scripted(_) => "Scripted",
+        };
+        f.debug_struct("LinkPolicy").field("kind", &name).finish()
+    }
+}
+
+impl LinkPolicy {
+    /// Every message takes exactly `delay` ticks. With `delay = 1`, decision
+    /// times are message-delay counts — the unit used by Table 1.
+    pub fn synchronous(delay: u64) -> Self {
+        LinkPolicy { kind: PolicyKind::Synchronous { delay } }
+    }
+
+    /// The partial-synchrony model of Section 2.
+    ///
+    /// Before `gst`: if `drop` (the default of this constructor) messages
+    /// are lost, matching the paper's observation that constant storage
+    /// forces tolerating pre-GST loss. After `gst`: messages arrive after
+    /// the *actual* delay `actual`, which must be ≤ `delta` (the known
+    /// bound Δ used for timeouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actual > delta` — the model requires δ ≤ Δ.
+    pub fn partial_synchrony(gst: Time, delta: u64, actual: u64) -> Self {
+        assert!(actual <= delta, "actual delay δ must not exceed the bound Δ");
+        LinkPolicy {
+            kind: PolicyKind::PartialSynchrony { gst, delta, actual, drop_before_gst: true },
+        }
+    }
+
+    /// Partial synchrony where pre-GST messages are delayed until GST
+    /// instead of dropped (a milder adversary; useful to separate loss
+    /// effects from delay effects in tests).
+    pub fn partial_synchrony_delaying(gst: Time, delta: u64, actual: u64) -> Self {
+        assert!(actual <= delta, "actual delay δ must not exceed the bound Δ");
+        LinkPolicy {
+            kind: PolicyKind::PartialSynchrony { gst, delta, actual, drop_before_gst: false },
+        }
+    }
+
+    /// Uniformly random per-message delay in `min..=max` ticks (synchronous
+    /// but jittery; exercises message reordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn jittered(min: u64, max: u64) -> Self {
+        assert!(min <= max, "jitter interval must be non-empty");
+        LinkPolicy { kind: PolicyKind::Jittered { min, max } }
+    }
+
+    /// Fully scripted policy; receives every routing decision.
+    pub fn scripted(f: impl FnMut(RouteEnv, &mut StdRng) -> Route + Send + 'static) -> Self {
+        LinkPolicy { kind: PolicyKind::Scripted(Box::new(f)) }
+    }
+
+    /// Routes one message. Loopback (`from == to`) never reaches the policy;
+    /// the runner delivers it instantly.
+    pub fn route(&mut self, env: RouteEnv, rng: &mut StdRng) -> Route {
+        match &mut self.kind {
+            PolicyKind::Synchronous { delay } => Route::DeliverAt(env.now + *delay),
+            PolicyKind::PartialSynchrony { gst, delta, actual, drop_before_gst } => {
+                debug_assert!(*actual <= *delta);
+                if env.now < *gst {
+                    if *drop_before_gst {
+                        Route::Drop
+                    } else {
+                        // Held by the adversary, released at GST + δ.
+                        Route::DeliverAt(*gst + *actual)
+                    }
+                } else {
+                    Route::DeliverAt(env.now + *actual)
+                }
+            }
+            PolicyKind::Jittered { min, max } => {
+                let d = rng.random_range(*min..=*max);
+                Route::DeliverAt(env.now + d)
+            }
+            PolicyKind::Scripted(f) => f(env, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn env(now: u64) -> RouteEnv {
+        RouteEnv { from: NodeId(0), to: NodeId(1), now: Time(now), size: 8 }
+    }
+
+    #[test]
+    fn synchronous_is_fixed() {
+        let mut p = LinkPolicy::synchronous(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.route(env(10), &mut rng), Route::DeliverAt(Time(13)));
+    }
+
+    #[test]
+    fn partial_synchrony_drops_then_bounds() {
+        let mut p = LinkPolicy::partial_synchrony(Time(100), 10, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.route(env(99), &mut rng), Route::Drop);
+        assert_eq!(p.route(env(100), &mut rng), Route::DeliverAt(Time(104)));
+        assert_eq!(p.route(env(150), &mut rng), Route::DeliverAt(Time(154)));
+    }
+
+    #[test]
+    fn delaying_variant_holds_until_gst() {
+        let mut p = LinkPolicy::partial_synchrony_delaying(Time(100), 10, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.route(env(7), &mut rng), Route::DeliverAt(Time(104)));
+    }
+
+    #[test]
+    #[should_panic(expected = "actual delay")]
+    fn delta_bound_enforced() {
+        let _ = LinkPolicy::partial_synchrony(Time(0), 5, 6);
+    }
+
+    #[test]
+    fn jitter_stays_in_range_and_is_deterministic() {
+        let mut p = LinkPolicy::jittered(2, 5);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let ra = p.route(env(0), &mut a);
+            let rb = {
+                let mut p2 = LinkPolicy::jittered(2, 5);
+                // fresh policy, same rng stream position
+                p2.route(env(0), &mut b)
+            };
+            assert_eq!(ra, rb);
+            match ra {
+                Route::DeliverAt(t) => assert!((2..=5).contains(&t.0)),
+                Route::Drop => panic!("jitter never drops"),
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_policy_sees_env() {
+        let mut p = LinkPolicy::scripted(|e, _| {
+            if e.to == NodeId(1) {
+                Route::Drop
+            } else {
+                Route::DeliverAt(e.now + 1)
+            }
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.route(env(0), &mut rng), Route::Drop);
+        let other = RouteEnv { to: NodeId(2), ..env(0) };
+        assert_eq!(p.route(other, &mut rng), Route::DeliverAt(Time(1)));
+    }
+}

@@ -1,0 +1,481 @@
+//! The simulation engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tetrabft_types::NodeId;
+
+use crate::metrics::Metrics;
+use crate::node::{Action, Context, Dest, Input, Node, TimerId, WireSize};
+use crate::policy::{LinkPolicy, Route, RouteEnv};
+use crate::queue::{EventKind, EventQueue};
+use crate::time::Time;
+use crate::trace::TraceEvent;
+
+/// A protocol output captured by the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputRecord<O> {
+    /// Node that produced the output.
+    pub node: NodeId,
+    /// Virtual time of the output.
+    pub time: Time,
+    /// The output itself.
+    pub output: O,
+}
+
+/// Builder for a [`Sim`].
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct SimBuilder {
+    n: usize,
+    seed: u64,
+    policy: LinkPolicy,
+    record_trace: bool,
+}
+
+impl SimBuilder {
+    /// Starts building a simulation of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "simulation needs at least one node");
+        SimBuilder { n, seed: 0, policy: LinkPolicy::synchronous(1), record_trace: false }
+    }
+
+    /// Seeds the deterministic RNG (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the link policy (default: synchronous unit delay).
+    pub fn policy(mut self, policy: LinkPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the event trace (off by default; it grows with the run).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Instantiates the simulation, creating each node with `make`.
+    ///
+    /// `make` receives the node id so Byzantine actors can be placed at
+    /// chosen positions (return different implementations behind a `Box`).
+    pub fn build<M, O, N>(self, mut make: impl FnMut(NodeId) -> N) -> Sim<M, O>
+    where
+        M: WireSize + Clone + 'static,
+        O: 'static,
+        N: Node<Msg = M, Output = O> + 'static,
+    {
+        self.build_boxed(|id| Box::new(make(id)))
+    }
+
+    /// Like [`SimBuilder::build`] but the factory returns boxed nodes,
+    /// allowing heterogeneous actor types (honest + Byzantine mixes).
+    pub fn build_boxed<M, O>(
+        self,
+        mut make: impl FnMut(NodeId) -> Box<dyn Node<Msg = M, Output = O>>,
+    ) -> Sim<M, O>
+    where
+        M: WireSize + Clone + 'static,
+        O: 'static,
+    {
+        let nodes: Vec<_> = (0..self.n as u16).map(|i| make(NodeId(i))).collect();
+        let mut sim = Sim {
+            n: self.n,
+            nodes,
+            policy: self.policy,
+            rng: StdRng::seed_from_u64(self.seed),
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            timer_gen: vec![std::collections::HashMap::new(); self.n],
+            outputs: Vec::new(),
+            metrics: Metrics::new(self.n),
+            trace: self.record_trace.then(Vec::new),
+            started: false,
+        };
+        sim.start();
+        sim
+    }
+}
+
+/// A running simulation over `n` protocol state machines.
+///
+/// Drive it with [`Sim::step`], [`Sim::run_until`], or
+/// [`Sim::run_until_quiet`]; inspect results via [`Sim::outputs`],
+/// [`Sim::metrics`], and [`Sim::trace`].
+pub struct Sim<M, O> {
+    n: usize,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    policy: LinkPolicy,
+    rng: StdRng,
+    queue: EventQueue<M>,
+    now: Time,
+    // Timer generations: SetTimer bumps the generation; a firing event with
+    // a stale generation is ignored. This implements replace/cancel.
+    timer_gen: Vec<std::collections::HashMap<TimerId, u64>>,
+    outputs: Vec<OutputRecord<O>>,
+    metrics: Metrics,
+    trace: Option<Vec<TraceEvent<M>>>,
+    started: bool,
+}
+
+impl<M: WireSize + Clone, O> Sim<M, O> {
+    fn start(&mut self) {
+        assert!(!self.started);
+        self.started = true;
+        for i in 0..self.n {
+            self.dispatch(NodeId(i as u16), Input::Start);
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// All outputs produced so far, in emission order.
+    pub fn outputs(&self) -> &[OutputRecord<O>] {
+        &self.outputs
+    }
+
+    /// Communication metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of events still queued (messages in flight plus armed timers).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[TraceEvent<M>]> {
+        self.trace.as_deref()
+    }
+
+    /// Mutable access to a node, for test inspection with downcasting done
+    /// by the caller's concrete factory (prefer outputs/metrics in tests).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node<Msg = M, Output = O> {
+        &mut *self.nodes[id.index()]
+    }
+
+    /// Processes one queued event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else { return false };
+        debug_assert!(event.at >= self.now, "time must be monotone");
+        self.now = event.at;
+        match event.kind {
+            EventKind::Deliver { to, from, msg } => {
+                if from != to {
+                    self.metrics.on_deliver(to, msg.wire_size());
+                }
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Delivered { at: self.now, from, to, msg: msg.clone() });
+                }
+                self.dispatch(to, Input::Deliver { from, msg });
+            }
+            EventKind::Timer { node, id, generation } => {
+                let live = self.timer_gen[node.index()].get(&id) == Some(&generation);
+                if live {
+                    self.timer_gen[node.index()].remove(&id);
+                    self.dispatch(node, Input::Timer { id });
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or virtual time would exceed `horizon`.
+    pub fn run_until(&mut self, horizon: Time) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until the event queue drains, with a hard cap of `max_events`
+    /// processed events (protection against livelock in protocol bugs).
+    /// Returns `true` if the queue drained.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> bool {
+        let mut processed = 0;
+        while processed < max_events {
+            if !self.step() {
+                return true;
+            }
+            processed += 1;
+        }
+        self.queue.peek_time().is_none()
+    }
+
+    /// Runs until at least `count` outputs exist or the queue drains or
+    /// `max_events` is hit. Returns `true` if the output target was reached.
+    pub fn run_until_outputs(&mut self, count: usize, max_events: u64) -> bool {
+        let mut processed = 0;
+        while self.outputs.len() < count && processed < max_events {
+            if !self.step() {
+                break;
+            }
+            processed += 1;
+        }
+        self.outputs.len() >= count
+    }
+
+    fn dispatch(&mut self, id: NodeId, input: Input<M>) {
+        self.metrics.events_processed += 1;
+        let mut effects = Vec::new();
+        {
+            let mut ctx =
+                Context { me: id, n: self.n, now: self.now, effects: &mut effects };
+            self.nodes[id.index()].handle(input, &mut ctx);
+        }
+        for effect in effects {
+            self.apply(id, effect);
+        }
+    }
+
+    fn apply(&mut self, id: NodeId, effect: Action<M, O>) {
+        match effect {
+            Action::Send { dest, msg } => match dest {
+                Dest::All => {
+                    for to in 0..self.n as u16 {
+                        self.route(id, NodeId(to), msg.clone());
+                    }
+                }
+                Dest::Node(to) => self.route(id, to, msg),
+            },
+            Action::SetTimer { id: timer, after } => {
+                let gen = self.timer_gen[id.index()].entry(timer).or_insert(0);
+                *gen += 1;
+                let generation = *gen;
+                self.queue
+                    .push(self.now + after, EventKind::Timer { node: id, id: timer, generation });
+            }
+            Action::CancelTimer { id: timer } => {
+                // Bumping the generation orphans any queued firing.
+                self.timer_gen[id.index()]
+                    .entry(timer)
+                    .and_modify(|g| *g += 1);
+                self.timer_gen[id.index()].remove(&timer);
+            }
+            Action::Output(output) => {
+                self.outputs.push(OutputRecord { node: id, time: self.now, output });
+            }
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if from == to {
+            // Loopback: instantaneous, free, and lossless.
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent::Sent { at: self.now, from, to, msg: msg.clone() });
+            }
+            self.queue.push(self.now, EventKind::Deliver { to, from, msg });
+            return;
+        }
+        let size = msg.wire_size();
+        self.metrics.on_send(from, size);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Sent { at: self.now, from, to, msg: msg.clone() });
+        }
+        let env = RouteEnv { from, to, now: self.now, size };
+        match self.policy.route(env, &mut self.rng) {
+            Route::DeliverAt(at) => {
+                let at = at.max(self.now);
+                self.queue.push(at, EventKind::Deliver { to, from, msg });
+            }
+            Route::Drop => {
+                self.metrics.msgs_dropped += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Dropped { at: self.now, from, to });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actors::{FnNode, SilentNode};
+    use crate::policy::LinkPolicy;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Msg(u64);
+    impl WireSize for Msg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn start_is_delivered_to_every_node() {
+        let mut sim = SimBuilder::new(3).build(|_| {
+            FnNode::<Msg, (), _>::new(|input, ctx| {
+                if matches!(input, Input::Start) {
+                    ctx.output(());
+                }
+            })
+        });
+        sim.run_until_quiet(100);
+        assert_eq!(sim.outputs().len(), 3);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_including_self() {
+        let mut sim = SimBuilder::new(4).build(|id| {
+            FnNode::<Msg, (NodeId, NodeId), _>::new(move |input, ctx| match input {
+                Input::Start if id == NodeId(0) => ctx.broadcast(Msg(1)),
+                Input::Deliver { from, .. } => ctx.output((from, ctx.me())),
+                _ => {}
+            })
+        });
+        sim.run_until_quiet(100);
+        assert_eq!(sim.outputs().len(), 4);
+        // Loopback delivered at t=0; network copies at t=1.
+        let self_delivery = sim.outputs().iter().find(|o| o.node == NodeId(0)).unwrap();
+        assert_eq!(self_delivery.time, Time(0));
+        for o in sim.outputs().iter().filter(|o| o.node != NodeId(0)) {
+            assert_eq!(o.time, Time(1));
+        }
+        // Loopback is free: 3 network messages only.
+        assert_eq!(sim.metrics().total_msgs_sent(), 3);
+        assert_eq!(sim.metrics().total_bytes_sent(), 24);
+    }
+
+    #[test]
+    fn timers_fire_once_and_replacement_works() {
+        let mut sim = SimBuilder::new(1).build(|_| {
+            FnNode::<Msg, u64, _>::new(|input, ctx| match input {
+                Input::Start => {
+                    ctx.set_timer(TimerId(7), 10);
+                    ctx.set_timer(TimerId(7), 3); // replaces the first arming
+                }
+                Input::Timer { id } => ctx.output(id.0 as u64 + ctx.now().0),
+                _ => {}
+            })
+        });
+        sim.run_until_quiet(100);
+        assert_eq!(sim.outputs().len(), 1, "replaced timer must fire once");
+        assert_eq!(sim.outputs()[0].time, Time(3));
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut sim = SimBuilder::new(1).build(|_| {
+            FnNode::<Msg, (), _>::new(|input, ctx| match input {
+                Input::Start => {
+                    ctx.set_timer(TimerId(1), 5);
+                    ctx.cancel_timer(TimerId(1));
+                }
+                Input::Timer { .. } => ctx.output(()),
+                _ => {}
+            })
+        });
+        sim.run_until_quiet(100);
+        assert!(sim.outputs().is_empty());
+    }
+
+    #[test]
+    fn silent_node_does_nothing() {
+        let mut sim = SimBuilder::new(2).build_boxed(|id| {
+            if id == NodeId(0) {
+                Box::new(FnNode::<Msg, (), _>::new(|input, ctx| {
+                    if matches!(input, Input::Start) {
+                        ctx.broadcast(Msg(9));
+                    }
+                }))
+            } else {
+                Box::new(SilentNode::new())
+            }
+        });
+        sim.run_until_quiet(100);
+        assert!(sim.outputs().is_empty());
+        assert_eq!(sim.metrics().node(NodeId(1)).msgs_sent, 0);
+        assert_eq!(sim.metrics().node(NodeId(1)).msgs_received, 1);
+    }
+
+    #[test]
+    fn drops_are_counted() {
+        let mut sim = SimBuilder::new(2)
+            .policy(LinkPolicy::partial_synchrony(Time(100), 5, 1))
+            .build(|id| {
+                FnNode::<Msg, (), _>::new(move |input, ctx| {
+                    if matches!(input, Input::Start) && id == NodeId(0) {
+                        ctx.send(NodeId(1), Msg(1));
+                    }
+                })
+            });
+        sim.run_until_quiet(100);
+        assert_eq!(sim.metrics().msgs_dropped, 1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let mut sim = SimBuilder::new(3)
+                .seed(seed)
+                .policy(LinkPolicy::jittered(1, 7))
+                .build(|id| {
+                    FnNode::<Msg, (NodeId, u64), _>::new(move |input, ctx| match input {
+                        Input::Start if id == NodeId(0) => ctx.broadcast(Msg(0)),
+                        Input::Deliver { msg: Msg(k), .. } if k < 3 => ctx.broadcast(Msg(k + 1)),
+                        Input::Deliver { msg: Msg(k), .. } => ctx.output((ctx.me(), k)),
+                        _ => {}
+                    })
+                });
+            sim.run_until_quiet(10_000);
+            (sim.outputs().to_vec(), sim.metrics().total_bytes_sent())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, 0);
+    }
+
+    #[test]
+    fn trace_records_send_and_delivery() {
+        let mut sim = SimBuilder::new(2).record_trace(true).build(|id| {
+            FnNode::<Msg, (), _>::new(move |input, ctx| {
+                if matches!(input, Input::Start) && id == NodeId(0) {
+                    ctx.send(NodeId(1), Msg(5));
+                }
+            })
+        });
+        sim.run_until_quiet(100);
+        let trace = sim.trace().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(matches!(trace[0], TraceEvent::Sent { .. }));
+        assert!(matches!(trace[1], TraceEvent::Delivered { .. }));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = SimBuilder::new(1).build(|_| {
+            FnNode::<Msg, u64, _>::new(|input, ctx| match input {
+                Input::Start => ctx.set_timer(TimerId(0), 10),
+                Input::Timer { .. } => {
+                    ctx.output(ctx.now().0);
+                    ctx.set_timer(TimerId(0), 10);
+                }
+                _ => {}
+            })
+        });
+        sim.run_until(Time(35));
+        assert_eq!(sim.outputs().len(), 3); // t=10, 20, 30
+        assert_eq!(sim.now(), Time(30));
+    }
+}

@@ -1,0 +1,211 @@
+//! System configuration and quorum arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, View};
+
+/// Errors produced when constructing a [`Config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fewer than four nodes cannot tolerate any Byzantine fault while
+    /// satisfying `n > 3f` with `f ≥ 1`; `n ≥ 1` is still accepted with
+    /// `f = 0`, so this fires only for `n == 0`.
+    NoNodes,
+    /// An explicit fault budget violated `n > 3f`.
+    TooManyFaults {
+        /// Number of nodes requested.
+        n: usize,
+        /// Fault budget requested.
+        f: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "system must contain at least one node"),
+            ConfigError::TooManyFaults { n, f: faults } => {
+                write!(f, "n > 3f violated: n={n}, f={faults}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Static system configuration: the node count `n` and fault budget `f`.
+///
+/// The paper assumes `n > 3f`. A *quorum* is any set of `n − f` nodes and a
+/// *blocking set* any set of `f + 1` nodes (Section 1.1). Leaders are
+/// assigned round-robin by view number (Section 3.2).
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_types::{Config, NodeId, View};
+/// let cfg = Config::new(7)?;
+/// assert_eq!(cfg.f(), 2);
+/// assert_eq!(cfg.quorum(), 5);
+/// assert_eq!(cfg.blocking(), 3);
+/// assert_eq!(cfg.leader_of(View(8)), NodeId(1));
+/// # Ok::<(), tetrabft_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    n: usize,
+    f: usize,
+}
+
+impl Config {
+    /// Creates a configuration with the maximum fault budget `f = ⌊(n−1)/3⌋`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoNodes`] when `n == 0`.
+    pub fn new(n: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        Ok(Config { n, f: (n - 1) / 3 })
+    }
+
+    /// Creates a configuration with an explicit fault budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TooManyFaults`] unless `n > 3f`, and
+    /// [`ConfigError::NoNodes`] when `n == 0`.
+    pub fn with_faults(n: usize, f: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if n <= 3 * f {
+            return Err(ConfigError::TooManyFaults { n, f });
+        }
+        Ok(Config { n, f })
+    }
+
+    /// Total number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault budget `f` (maximum number of Byzantine nodes tolerated).
+    #[inline]
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Quorum size `n − f`.
+    #[inline]
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// Blocking-set size `f + 1`.
+    #[inline]
+    pub fn blocking(&self) -> usize {
+        self.f + 1
+    }
+
+    /// The pre-determined leader of `view`, assigned round-robin.
+    #[inline]
+    pub fn leader_of(&self, view: View) -> NodeId {
+        NodeId((view.0 % self.n as u64) as u16)
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u16).map(NodeId)
+    }
+
+    /// `true` when `count` messages constitute a quorum.
+    #[inline]
+    pub fn is_quorum(&self, count: usize) -> bool {
+        count >= self.quorum()
+    }
+
+    /// `true` when `count` messages constitute a blocking set.
+    #[inline]
+    pub fn is_blocking(&self, count: usize) -> bool {
+        count >= self.blocking()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_arithmetic_small_systems() {
+        for (n, f, q, b) in [(1, 0, 1, 1), (3, 0, 3, 1), (4, 1, 3, 2), (7, 2, 5, 3), (10, 3, 7, 4)]
+        {
+            let cfg = Config::new(n).unwrap();
+            assert_eq!(cfg.f(), f, "n={n}");
+            assert_eq!(cfg.quorum(), q, "n={n}");
+            assert_eq!(cfg.blocking(), b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn explicit_fault_budget_validation() {
+        assert!(Config::with_faults(4, 1).is_ok());
+        assert_eq!(
+            Config::with_faults(3, 1),
+            Err(ConfigError::TooManyFaults { n: 3, f: 1 })
+        );
+        assert_eq!(Config::with_faults(0, 0), Err(ConfigError::NoNodes));
+        assert_eq!(Config::new(0), Err(ConfigError::NoNodes));
+    }
+
+    #[test]
+    fn quorum_intersection_contains_correct_node() {
+        // Structural sanity: two quorums intersect in > f nodes, so at least
+        // one member of the intersection is well-behaved.
+        for n in 1..50 {
+            let cfg = Config::new(n).unwrap();
+            let overlap = 2 * cfg.quorum() as isize - n as isize;
+            assert!(
+                overlap > cfg.f() as isize,
+                "quorum intersection must exceed f (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_meets_blocking_set() {
+        // A quorum and a blocking set always intersect: (n-f) + (f+1) > n.
+        for n in 1..50 {
+            let cfg = Config::new(n).unwrap();
+            assert!(cfg.quorum() + cfg.blocking() > cfg.n());
+        }
+    }
+
+    #[test]
+    fn round_robin_leader() {
+        let cfg = Config::new(4).unwrap();
+        let leaders: Vec<_> = (0..8).map(|v| cfg.leader_of(View(v)).0).collect();
+        assert_eq!(leaders, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nodes_iterator_is_complete() {
+        let cfg = Config::new(5).unwrap();
+        let ids: Vec<_> = cfg.nodes().collect();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[0], NodeId(0));
+        assert_eq!(ids[4], NodeId(4));
+    }
+
+    #[test]
+    fn predicates() {
+        let cfg = Config::new(4).unwrap();
+        assert!(cfg.is_quorum(3));
+        assert!(!cfg.is_quorum(2));
+        assert!(cfg.is_blocking(2));
+        assert!(!cfg.is_blocking(1));
+    }
+}

@@ -1,0 +1,109 @@
+//! The four voting phases of TetraBFT.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A TetraBFT vote phase: `vote-1` through `vote-4`.
+///
+/// The protocol name comes from these four phases (Section 1.1). The type
+/// guarantees the phase index stays in `1..=4`.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_types::Phase;
+/// assert_eq!(Phase::VOTE1.next(), Some(Phase::VOTE2));
+/// assert_eq!(Phase::VOTE4.next(), None);
+/// assert_eq!(Phase::VOTE3.as_u8(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Phase(u8);
+
+impl Phase {
+    /// Phase `vote-1`.
+    pub const VOTE1: Phase = Phase(1);
+    /// Phase `vote-2`.
+    pub const VOTE2: Phase = Phase(2);
+    /// Phase `vote-3`.
+    pub const VOTE3: Phase = Phase(3);
+    /// Phase `vote-4`.
+    pub const VOTE4: Phase = Phase(4);
+
+    /// All four phases in voting order.
+    pub const ALL: [Phase; 4] = [Phase::VOTE1, Phase::VOTE2, Phase::VOTE3, Phase::VOTE4];
+
+    /// Constructs a phase from its 1-based index.
+    ///
+    /// Returns `None` unless `raw ∈ 1..=4`.
+    #[inline]
+    pub fn from_u8(raw: u8) -> Option<Phase> {
+        (1..=4).contains(&raw).then_some(Phase(raw))
+    }
+
+    /// The 1-based phase index.
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// Zero-based index, handy for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0 - 1)
+    }
+
+    /// The next phase in the voting sequence, or `None` after `vote-4`.
+    #[inline]
+    pub fn next(self) -> Option<Phase> {
+        Phase::from_u8(self.0 + 1)
+    }
+
+    /// The previous phase, or `None` before `vote-1`.
+    #[inline]
+    pub fn prev(self) -> Option<Phase> {
+        self.0.checked_sub(1).and_then(Phase::from_u8)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vote-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert_eq!(Phase::from_u8(0), None);
+        assert_eq!(Phase::from_u8(5), None);
+        assert_eq!(Phase::from_u8(1), Some(Phase::VOTE1));
+        assert_eq!(Phase::from_u8(4), Some(Phase::VOTE4));
+    }
+
+    #[test]
+    fn sequence_navigation() {
+        assert_eq!(Phase::VOTE1.next(), Some(Phase::VOTE2));
+        assert_eq!(Phase::VOTE2.next(), Some(Phase::VOTE3));
+        assert_eq!(Phase::VOTE3.next(), Some(Phase::VOTE4));
+        assert_eq!(Phase::VOTE4.next(), None);
+        assert_eq!(Phase::VOTE1.prev(), None);
+        assert_eq!(Phase::VOTE4.prev(), Some(Phase::VOTE3));
+    }
+
+    #[test]
+    fn indices_cover_array_storage() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(p.as_u8() as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Phase::VOTE2.to_string(), "vote-2");
+    }
+}

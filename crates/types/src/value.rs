@@ -1,0 +1,86 @@
+//! The opaque consensus value.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque 8-byte value the protocol agrees on.
+///
+/// In single-shot consensus this is the proposed value itself; in multi-shot
+/// TetraBFT it is a block digest (`tetrabft-multishot` maps digests back to
+/// full blocks). The kernel deliberately does not interpret the bytes — an
+/// unauthenticated protocol must not rely on any structure inside values.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_types::Value;
+/// let v = Value::from_u64(42);
+/// assert_eq!(v.as_u64(), 42);
+/// assert_ne!(v, Value::from_u64(7));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Value(pub [u8; 8]);
+
+impl Value {
+    /// Constructs a value from a `u64` (big-endian bytes).
+    #[inline]
+    pub fn from_u64(raw: u64) -> Self {
+        Value(raw.to_be_bytes())
+    }
+
+    /// Reads the value back as a `u64`.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        u64::from_be_bytes(self.0)
+    }
+
+    /// Raw byte view of the value.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; 8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "val:{:016x}", self.as_u64())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(raw: u64) -> Self {
+        Value::from_u64(raw)
+    }
+}
+
+impl From<[u8; 8]> for Value {
+    fn from(bytes: [u8; 8]) -> Self {
+        Value(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for raw in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(Value::from_u64(raw).as_u64(), raw);
+        }
+    }
+
+    #[test]
+    fn byte_conversions() {
+        let v = Value::from([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(v.as_bytes(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::from_u64(255).to_string(), "val:00000000000000ff");
+    }
+}

@@ -1,0 +1,267 @@
+//! The constant-size persistent vote storage of Section 3.1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Phase, Value, View};
+
+/// A recorded vote: the view it was cast in and the value it carried.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_types::{Value, View, VoteInfo};
+/// let vote = VoteInfo { view: View(3), value: Value::from_u64(9) };
+/// assert_eq!(vote.view, View(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoteInfo {
+    /// View the vote was cast in.
+    pub view: View,
+    /// Value the vote carried.
+    pub value: Value,
+}
+
+impl VoteInfo {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(view: View, value: Value) -> Self {
+        VoteInfo { view, value }
+    }
+}
+
+/// The constant-size persistent vote book of Section 3.1.
+///
+/// "Throughout the views, a node needs only to store the highest `vote-1`,
+/// `vote-2`, `vote-3` and `vote-4` messages it sent, along with the second
+/// highest `vote-1` and `vote-2` messages that carry a different value from
+/// their respective highest messages." — six registers in total, so storage
+/// is O(1) regardless of how many views execute (the Table 1 storage column).
+///
+/// [`VoteBook::record`] maintains the invariant that `prev(p)` is the
+/// highest-view vote in phase `p` whose value differs from `highest(p)`'s
+/// value, relying on the protocol guarantee that a well-behaved node votes at
+/// most once per phase per view and that its views are non-decreasing.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_types::{Phase, Value, View, VoteBook};
+/// let mut book = VoteBook::default();
+/// book.record(Phase::VOTE2, View(1), Value::from_u64(7));
+/// book.record(Phase::VOTE2, View(4), Value::from_u64(9));
+/// let h = book.highest(Phase::VOTE2).unwrap();
+/// let p = book.prev(Phase::VOTE2).unwrap();
+/// assert_eq!((h.view, h.value.as_u64()), (View(4), 9));
+/// assert_eq!((p.view, p.value.as_u64()), (View(1), 7));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteBook {
+    highest: [Option<VoteInfo>; 4],
+    // Second-highest with a different value; tracked for vote-1 and vote-2
+    // only (indices 0 and 1), as required by proof/suggest messages.
+    prev: [Option<VoteInfo>; 2],
+}
+
+impl VoteBook {
+    /// Creates an empty vote book.
+    pub fn new() -> Self {
+        VoteBook::default()
+    }
+
+    /// Records that this node cast a vote in `phase` for `(view, value)`.
+    ///
+    /// Votes with a view lower than the current highest for the phase are
+    /// ignored (a well-behaved node never produces them; ignoring makes the
+    /// type safe to drive from replayed inputs). A duplicate vote for the
+    /// same view is a no-op.
+    pub fn record(&mut self, phase: Phase, view: View, value: Value) {
+        let i = phase.index();
+        match self.highest[i] {
+            Some(h) if view <= h.view => {
+                // Replay or stale input: the book already reflects this phase
+                // at an equal-or-higher view.
+            }
+            Some(h) => {
+                if h.value != value && i < 2 {
+                    // The outgoing highest is the best-known vote with a value
+                    // different from the *new* highest.
+                    self.prev[i] = Some(h);
+                }
+                self.highest[i] = Some(VoteInfo::new(view, value));
+            }
+            None => {
+                self.highest[i] = Some(VoteInfo::new(view, value));
+            }
+        }
+    }
+
+    /// The highest vote sent in `phase`, if any.
+    #[inline]
+    pub fn highest(&self, phase: Phase) -> Option<VoteInfo> {
+        self.highest[phase.index()]
+    }
+
+    /// The highest vote sent in `phase` for a value *different* from the
+    /// value of [`VoteBook::highest`]. Only tracked for `vote-1`/`vote-2`
+    /// (what proof/suggest messages carry); `None` for later phases.
+    #[inline]
+    pub fn prev(&self, phase: Phase) -> Option<VoteInfo> {
+        if phase.index() < 2 {
+            self.prev[phase.index()]
+        } else {
+            None
+        }
+    }
+
+    /// `true` if the node has already voted in `phase` at `view` (or later).
+    #[inline]
+    pub fn has_voted_at_or_after(&self, phase: Phase, view: View) -> bool {
+        self.highest(phase).is_some_and(|h| h.view >= view)
+    }
+
+    /// Fields a `suggest` message carries: the highest `vote-2`, the
+    /// second-highest different-valued `vote-2`, and the highest `vote-3`.
+    #[inline]
+    pub fn suggest_fields(&self) -> (Option<VoteInfo>, Option<VoteInfo>, Option<VoteInfo>) {
+        (
+            self.highest(Phase::VOTE2),
+            self.prev(Phase::VOTE2),
+            self.highest(Phase::VOTE3),
+        )
+    }
+
+    /// Fields a `proof` message carries: the highest `vote-1`, the
+    /// second-highest different-valued `vote-1`, and the highest `vote-4`.
+    #[inline]
+    pub fn proof_fields(&self) -> (Option<VoteInfo>, Option<VoteInfo>, Option<VoteInfo>) {
+        (
+            self.highest(Phase::VOTE1),
+            self.prev(Phase::VOTE1),
+            self.highest(Phase::VOTE4),
+        )
+    }
+
+    /// Size in bytes of the persistent state, used by the storage
+    /// measurements of experiment E1/E6. Constant by construction.
+    pub fn persistent_bytes(&self) -> usize {
+        // 6 registers, each an optional (view: u64, value: 8 bytes) + tag.
+        6 * (1 + 8 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(raw: u64) -> Value {
+        Value::from_u64(raw)
+    }
+
+    #[test]
+    fn empty_book() {
+        let book = VoteBook::new();
+        for p in Phase::ALL {
+            assert_eq!(book.highest(p), None);
+            assert_eq!(book.prev(p), None);
+        }
+    }
+
+    #[test]
+    fn same_value_votes_do_not_create_prev() {
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE1, View(1), v(5));
+        book.record(Phase::VOTE1, View(2), v(5));
+        book.record(Phase::VOTE1, View(9), v(5));
+        assert_eq!(book.highest(Phase::VOTE1), Some(VoteInfo::new(View(9), v(5))));
+        assert_eq!(book.prev(Phase::VOTE1), None);
+    }
+
+    #[test]
+    fn value_switch_moves_old_highest_to_prev() {
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE2, View(1), v(5));
+        book.record(Phase::VOTE2, View(3), v(7));
+        assert_eq!(book.highest(Phase::VOTE2), Some(VoteInfo::new(View(3), v(7))));
+        assert_eq!(book.prev(Phase::VOTE2), Some(VoteInfo::new(View(1), v(5))));
+    }
+
+    #[test]
+    fn alternating_values_track_paper_definition() {
+        // Votes (1,A) (2,B) (3,A): highest=(3,A), prev must be (2,B) — the
+        // highest vote with a value different from A.
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE2, View(1), v(0xA));
+        book.record(Phase::VOTE2, View(2), v(0xB));
+        book.record(Phase::VOTE2, View(3), v(0xA));
+        assert_eq!(book.highest(Phase::VOTE2), Some(VoteInfo::new(View(3), v(0xA))));
+        assert_eq!(book.prev(Phase::VOTE2), Some(VoteInfo::new(View(2), v(0xB))));
+    }
+
+    #[test]
+    fn three_distinct_values() {
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE1, View(1), v(1));
+        book.record(Phase::VOTE1, View(2), v(2));
+        book.record(Phase::VOTE1, View(3), v(3));
+        assert_eq!(book.highest(Phase::VOTE1), Some(VoteInfo::new(View(3), v(3))));
+        assert_eq!(book.prev(Phase::VOTE1), Some(VoteInfo::new(View(2), v(2))));
+    }
+
+    #[test]
+    fn stale_and_duplicate_votes_are_ignored() {
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE3, View(5), v(1));
+        book.record(Phase::VOTE3, View(5), v(2)); // duplicate view
+        book.record(Phase::VOTE3, View(2), v(3)); // stale view
+        assert_eq!(book.highest(Phase::VOTE3), Some(VoteInfo::new(View(5), v(1))));
+    }
+
+    #[test]
+    fn phases_three_and_four_never_report_prev() {
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE3, View(1), v(1));
+        book.record(Phase::VOTE3, View(2), v(2));
+        book.record(Phase::VOTE4, View(1), v(1));
+        book.record(Phase::VOTE4, View(2), v(2));
+        assert_eq!(book.prev(Phase::VOTE3), None);
+        assert_eq!(book.prev(Phase::VOTE4), None);
+    }
+
+    #[test]
+    fn has_voted_predicate() {
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE1, View(4), v(1));
+        assert!(book.has_voted_at_or_after(Phase::VOTE1, View(4)));
+        assert!(book.has_voted_at_or_after(Phase::VOTE1, View(3)));
+        assert!(!book.has_voted_at_or_after(Phase::VOTE1, View(5)));
+        assert!(!book.has_voted_at_or_after(Phase::VOTE2, View(0)));
+    }
+
+    #[test]
+    fn message_field_extraction() {
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE1, View(1), v(1));
+        book.record(Phase::VOTE2, View(2), v(2));
+        book.record(Phase::VOTE3, View(3), v(3));
+        book.record(Phase::VOTE4, View(4), v(4));
+        let (s_hi, s_prev, s_v3) = book.suggest_fields();
+        assert_eq!(s_hi, Some(VoteInfo::new(View(2), v(2))));
+        assert_eq!(s_prev, None);
+        assert_eq!(s_v3, Some(VoteInfo::new(View(3), v(3))));
+        let (p_hi, p_prev, p_v4) = book.proof_fields();
+        assert_eq!(p_hi, Some(VoteInfo::new(View(1), v(1))));
+        assert_eq!(p_prev, None);
+        assert_eq!(p_v4, Some(VoteInfo::new(View(4), v(4))));
+    }
+
+    #[test]
+    fn persistent_size_is_constant() {
+        let mut book = VoteBook::new();
+        let before = book.persistent_bytes();
+        for view in 0..1000 {
+            book.record(Phase::VOTE1, View(view), v(view % 3));
+            book.record(Phase::VOTE2, View(view), v(view % 5));
+        }
+        assert_eq!(book.persistent_bytes(), before);
+    }
+}

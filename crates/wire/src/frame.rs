@@ -1,0 +1,144 @@
+//! Length-prefixed stream framing for the tokio transport.
+//!
+//! Each frame is a big-endian `u32` payload length followed by the payload.
+//! [`FrameDecoder`] is an incremental decoder suitable for feeding arbitrary
+//! chunks read from a socket.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetrabft_wire::frame::{encode_frame, FrameDecoder};
+//!
+//! let framed = encode_frame(b"hello");
+//! let mut dec = FrameDecoder::new();
+//! dec.extend(&framed[..3]); // partial chunk
+//! assert_eq!(dec.next_frame()?, None);
+//! dec.extend(&framed[3..]);
+//! assert_eq!(dec.next_frame()?.as_deref(), Some(&b"hello"[..]));
+//! # Ok::<(), tetrabft_wire::WireError>(())
+//! ```
+
+use bytes::{Buf, BytesMut};
+
+use crate::WireError;
+
+/// Maximum accepted frame payload (16 MiB); larger prefixes are hostile.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Wraps `payload` in a length-prefixed frame.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`]; protocol messages are
+/// always orders of magnitude smaller.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload too large");
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental decoder for length-prefixed frames.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes received from the stream.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Attempts to extract the next complete frame payload.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::LengthOverflow`] when a frame declares a payload larger
+    /// than [`MAX_FRAME_LEN`]; the stream should then be torn down.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+            as usize;
+        if declared > MAX_FRAME_LEN {
+            return Err(WireError::LengthOverflow { declared, limit: MAX_FRAME_LEN });
+        }
+        if self.buf.len() < 4 + declared {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let payload = self.buf.split_to(declared);
+        Ok(Some(payload.to_vec()))
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let framed = encode_frame(b"abc");
+        let mut dec = FrameDecoder::new();
+        dec.extend(&framed);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"abc"[..]));
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let framed = encode_frame(b"");
+        let mut dec = FrameDecoder::new();
+        dec.extend(&framed);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk() {
+        let mut stream = encode_frame(b"one");
+        stream.extend_from_slice(&encode_frame(b"two"));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"one"[..]));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"two"[..]));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn byte_by_byte_delivery() {
+        let framed = encode_frame(b"slow");
+        let mut dec = FrameDecoder::new();
+        for (i, b) in framed.iter().enumerate() {
+            dec.extend(std::slice::from_ref(b));
+            let got = dec.next_frame().unwrap();
+            if i + 1 == framed.len() {
+                assert_eq!(got.as_deref(), Some(&b"slow"[..]));
+            } else {
+                assert_eq!(got, None);
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(dec.next_frame(), Err(WireError::LengthOverflow { .. })));
+    }
+}

@@ -1,0 +1,240 @@
+//! [`Wire`] implementations for primitives and kernel types.
+
+use tetrabft_types::{NodeId, Phase, Slot, Value, View, VoteInfo};
+
+use crate::{Reader, Wire, WireError, Writer};
+
+/// Sanity limit on decoded collection lengths (elements).
+///
+/// Protects decoders from hostile length prefixes; generous enough for any
+/// realistic system size (the paper targets hundreds of thousands of nodes,
+/// but no single message ever carries more than `n` records).
+pub(crate) const MAX_SEQ_LEN: usize = 1 << 20;
+
+impl Wire for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u8()
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u16()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u64()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::InvalidTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(inner) => {
+                w.put_u8(1);
+                inner.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::InvalidTag { what: "Option", tag }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        debug_assert!(self.len() <= MAX_SEQ_LEN, "sequence exceeds wire limit");
+        w.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_u32()? as usize;
+        if len > MAX_SEQ_LEN {
+            return Err(WireError::LengthOverflow { declared: len, limit: MAX_SEQ_LEN });
+        }
+        // Cap the pre-allocation by what the input could possibly hold, so a
+        // hostile length prefix cannot force a huge allocation.
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(r.get_u16()?))
+    }
+}
+
+impl Wire for View {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(View(r.get_u64()?))
+    }
+}
+
+impl Wire for Slot {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Slot(r.get_u64()?))
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, w: &mut Writer) {
+        w.put_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Value(r.get_array()?))
+    }
+}
+
+impl Wire for Phase {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.as_u8());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        Phase::from_u8(tag).ok_or(WireError::InvalidTag { what: "Phase", tag })
+    }
+}
+
+impl Wire for VoteInfo {
+    fn encode(&self, w: &mut Writer) {
+        self.view.encode(w);
+        self.value.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(VoteInfo { view: View::decode(r)?, value: Value::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), value);
+        assert_eq!(value.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0xABu8);
+        roundtrip(0x1234u16);
+        roundtrip(0xDEADBEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn kernel_type_roundtrips() {
+        roundtrip(NodeId(9));
+        roundtrip(View(123456));
+        roundtrip(Slot(42));
+        roundtrip(Value::from_u64(777));
+        for p in Phase::ALL {
+            roundtrip(p);
+        }
+        roundtrip(VoteInfo::new(View(5), Value::from_u64(6)));
+    }
+
+    #[test]
+    fn option_roundtrips() {
+        roundtrip(Option::<VoteInfo>::None);
+        roundtrip(Some(VoteInfo::new(View(1), Value::from_u64(2))));
+    }
+
+    #[test]
+    fn vec_roundtrips() {
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(vec![NodeId(0), NodeId(1), NodeId(65535)]);
+    }
+
+    #[test]
+    fn bad_bool_tag() {
+        assert_eq!(
+            bool::from_bytes(&[7]),
+            Err(WireError::InvalidTag { what: "bool", tag: 7 })
+        );
+    }
+
+    #[test]
+    fn bad_phase_tag() {
+        assert_eq!(
+            Phase::from_bytes(&[0]),
+            Err(WireError::InvalidTag { what: "Phase", tag: 0 })
+        );
+        assert_eq!(
+            Phase::from_bytes(&[5]),
+            Err(WireError::InvalidTag { what: "Phase", tag: 5 })
+        );
+    }
+
+    #[test]
+    fn hostile_vec_length_is_rejected_without_allocation() {
+        // Declared length u32::MAX with a 4-byte body.
+        let bytes = u32::MAX.to_be_bytes();
+        let err = Vec::<u64>::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::LengthOverflow { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = View(1).to_bytes();
+        bytes.push(0);
+        assert_eq!(View::from_bytes(&bytes), Err(WireError::TrailingBytes { remaining: 1 }));
+    }
+}

@@ -1,0 +1,144 @@
+//! Checked, panic-free byte reader.
+
+use crate::WireError;
+
+/// Cursor over an input buffer; every read is bounds-checked.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_wire::Reader;
+/// let mut r = Reader::new(&[0, 0, 0, 5]);
+/// assert_eq!(r.get_u32()?, 5);
+/// assert_eq!(r.remaining(), 0);
+/// # Ok::<(), tetrabft_wire::WireError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof { needed: n, available: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if the buffer is exhausted.
+    #[inline]
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than two bytes remain.
+    #[inline]
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than four bytes remain.
+    #[inline]
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than eight bytes remain.
+    #[inline]
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    #[inline]
+    pub fn get_slice(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads a fixed-size byte array.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than `N` bytes remain.
+    pub fn get_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads() {
+        let bytes = [1, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 4, 9, 9];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u16().unwrap(), 2);
+        assert_eq!(r.get_u32().unwrap(), 3);
+        assert_eq!(r.get_u64().unwrap(), 4);
+        assert_eq!(r.get_slice(2).unwrap(), &[9, 9]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn eof_is_an_error_not_a_panic() {
+        let mut r = Reader::new(&[1]);
+        assert_eq!(
+            r.get_u32(),
+            Err(WireError::UnexpectedEof { needed: 4, available: 1 })
+        );
+        // Failed reads do not consume input.
+        assert_eq!(r.get_u8().unwrap(), 1);
+    }
+
+    #[test]
+    fn fixed_arrays() {
+        let mut r = Reader::new(&[5, 6, 7, 8]);
+        let arr: [u8; 4] = r.get_array().unwrap();
+        assert_eq!(arr, [5, 6, 7, 8]);
+        let err: Result<[u8; 1], _> = r.get_array();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Real deployment: a localhost TCP cluster running single-shot TetraBFT
+//! and then a multi-shot blockchain — the same state machines the simulator
+//! verifies, now over actual sockets with wall-clock timers.
+//!
+//! ```sh
+//! cargo run --example tcp_cluster
+//! ```
+
+use tetrabft_net::Cluster;
+use tetrabft_suite::prelude::*;
+
+#[tokio::main]
+async fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = Config::new(4)?;
+
+    println!("— single-shot consensus over TCP —");
+    let started = std::time::Instant::now();
+    let mut cluster = Cluster::spawn(4, |id| {
+        TetraNode::new(cfg, Params::new(300), id, Value::from_u64(40 + u64::from(id.0)))
+    })
+    .await?;
+    for _ in 0..4 {
+        let (node, value) = cluster.next_output().await.expect("decision");
+        println!("  {node} decided {value} after {:?}", started.elapsed());
+    }
+    drop(cluster);
+
+    println!("\n— multi-shot blockchain over TCP —");
+    let mut chain_cluster = Cluster::spawn(4, |id| {
+        let mut node = MultiShotNode::new(cfg, Params::new(300), id);
+        node.submit_tx(format!("genesis-tx-{id}").into_bytes());
+        node
+    })
+    .await?;
+    let mut finalized = 0;
+    while finalized < 12 {
+        let (node, fin) = chain_cluster.next_output().await.expect("finalization");
+        if node == NodeId(0) {
+            println!(
+                "  node 0 finalized slot {:>2} {} ({} txs)",
+                fin.slot.0,
+                fin.hash,
+                fin.block.txs.len()
+            );
+            finalized += 1;
+        }
+    }
+    println!("\n12 blocks finalized over real sockets — no cryptography involved.");
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Property tests for the wire layer: every message type round-trips, and
+//! no byte sequence — hostile or truncated — can panic a decoder. In an
+//! unauthenticated protocol the codec *is* the attack surface.
+
+use proptest::prelude::*;
+
+use tetrabft::{Message, ProofData, SuggestData};
+use tetrabft_baselines::iths::IthsMsg;
+use tetrabft_baselines::ithsblog::BlogMsg;
+use tetrabft_baselines::pbft::PbftMsg;
+use tetrabft_multishot::{Block, MsMessage};
+use tetrabft_types::{Phase, Slot, Value, View, VoteInfo};
+use tetrabft_wire::Wire;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    any::<u64>().prop_map(Value::from_u64)
+}
+
+fn arb_vote_info() -> impl Strategy<Value = VoteInfo> {
+    (any::<u64>(), arb_value()).prop_map(|(v, val)| VoteInfo::new(View(v), val))
+}
+
+fn arb_opt_vote() -> impl Strategy<Value = Option<VoteInfo>> {
+    proptest::option::of(arb_vote_info())
+}
+
+fn arb_core_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), arb_value())
+            .prop_map(|(v, val)| Message::Proposal { view: View(v), value: val }),
+        (1u8..=4, any::<u64>(), arb_value()).prop_map(|(p, v, val)| Message::Vote {
+            phase: Phase::from_u8(p).unwrap(),
+            view: View(v),
+            value: val,
+        }),
+        (any::<u64>(), arb_opt_vote(), arb_opt_vote(), arb_opt_vote()).prop_map(
+            |(v, a, b, c)| Message::Suggest {
+                view: View(v),
+                data: SuggestData { vote2: a, prev_vote2: b, vote3: c },
+            }
+        ),
+        (any::<u64>(), arb_opt_vote(), arb_opt_vote(), arb_opt_vote()).prop_map(
+            |(v, a, b, c)| Message::Proof {
+                view: View(v),
+                data: ProofData { vote1: a, prev_vote1: b, vote4: c },
+            }
+        ),
+        any::<u64>().prop_map(|v| Message::ViewChange { view: View(v) }),
+    ]
+}
+
+fn arb_ms_message() -> impl Strategy<Value = MsMessage> {
+    prop_oneof![
+        (any::<u64>(), 1u64..1000, any::<u64>(), proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..32),
+            0..8
+        ))
+            .prop_map(|(v, s, parent, txs)| MsMessage::Proposal {
+                view: View(v),
+                block: Block::new(Slot(s), tetrabft_multishot::BlockHash(parent), txs),
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(s, v, h)| MsMessage::Vote {
+            slot: Slot(s),
+            view: View(v),
+            hash: tetrabft_multishot::BlockHash(h),
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(s, v)| MsMessage::ViewChange {
+            slot: Slot(s),
+            view: View(v),
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn core_messages_roundtrip(msg in arb_core_message()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(Message::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn multishot_messages_roundtrip(msg in arb_ms_message()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(MsMessage::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine — panicking is not.
+        let _ = Message::from_bytes(&bytes);
+        let _ = MsMessage::from_bytes(&bytes);
+        let _ = IthsMsg::from_bytes(&bytes);
+        let _ = BlogMsg::from_bytes(&bytes);
+        let _ = PbftMsg::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_messages_error_cleanly(msg in arb_core_message(), cut in 0usize..64) {
+        let bytes = msg.to_bytes();
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut - 1];
+            prop_assert!(Message::from_bytes(truncated).is_err() || cut + 1 == 0);
+        }
+    }
+
+    #[test]
+    fn framing_survives_arbitrary_chunking(
+        msg in arb_core_message(),
+        splits in proptest::collection::vec(1usize..16, 0..8),
+    ) {
+        use tetrabft_wire::frame::{encode_frame, FrameDecoder};
+        let framed = encode_frame(&msg.to_bytes());
+        let mut dec = FrameDecoder::new();
+        let mut fed = 0;
+        let mut got = None;
+        for s in splits {
+            let end = (fed + s).min(framed.len());
+            dec.extend(&framed[fed..end]);
+            fed = end;
+            if let Some(frame) = dec.next_frame().unwrap() {
+                got = Some(frame);
+            }
+        }
+        dec.extend(&framed[fed..]);
+        if let Some(frame) = dec.next_frame().unwrap() {
+            got = Some(frame);
+        }
+        let frame = got.expect("frame must complete");
+        prop_assert_eq!(Message::from_bytes(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn wire_len_matches_encoding(msg in arb_core_message()) {
+        prop_assert_eq!(msg.wire_len(), msg.to_bytes().len());
+    }
+}
