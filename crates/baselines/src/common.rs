@@ -50,10 +50,7 @@ impl<const K: usize> PhaseRegisters<K> {
     /// Number of peers whose latest phase-`phase` record is exactly
     /// `(view, value)`.
     pub fn count(&self, phase: usize, view: View, value: Value) -> usize {
-        self.peers
-            .iter()
-            .filter(|p| p[phase] == Some(VoteInfo::new(view, value)))
-            .count()
+        self.peers.iter().filter(|p| p[phase] == Some(VoteInfo::new(view, value))).count()
     }
 
     /// Distinct values recorded for `phase` at `view`, with counts.
@@ -157,10 +154,7 @@ mod tests {
         regs.record(NodeId(0), 1, View(1), Value::from_u64(1));
         regs.record(NodeId(0), 1, View(3), Value::from_u64(2));
         regs.record(NodeId(0), 1, View(2), Value::from_u64(3)); // stale
-        assert_eq!(
-            regs.get(NodeId(0), 1),
-            Some(VoteInfo::new(View(3), Value::from_u64(2)))
-        );
+        assert_eq!(regs.get(NodeId(0), 1), Some(VoteInfo::new(View(3), Value::from_u64(2))));
     }
 
     #[test]

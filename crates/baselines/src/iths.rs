@@ -260,12 +260,8 @@ impl IthsNode {
         } else {
             // Responsive: propose as soon as a quorum of suggests for this
             // view arrived; adopt the value of the highest key-3/lock.
-            let fresh: Vec<_> = self
-                .suggests
-                .iter()
-                .flatten()
-                .filter(|(v, _, _)| *v == self.view)
-                .collect();
+            let fresh: Vec<_> =
+                self.suggests.iter().flatten().filter(|(v, _, _)| *v == self.view).collect();
             if !self.cfg.is_quorum(fresh.len()) {
                 return false;
             }
@@ -326,11 +322,7 @@ impl IthsNode {
                     if next == KEY3 {
                         self.key3 = Some(VoteInfo::new(self.view, value));
                     }
-                    ctx.broadcast(IthsMsg::Key {
-                        level: next as u8,
-                        view: self.view,
-                        value,
-                    });
+                    ctx.broadcast(IthsMsg::Key { level: next as u8, view: self.view, value });
                 }
                 LOCK => {
                     self.lock = Some(VoteInfo::new(self.view, value));
@@ -347,11 +339,8 @@ impl IthsNode {
         if self.decided.is_some() {
             return false;
         }
-        let Some((value, _)) = self
-            .regs
-            .tallies(LOCK, self.view)
-            .into_iter()
-            .find(|(_, c)| self.cfg.is_quorum(*c))
+        let Some((value, _)) =
+            self.regs.tallies(LOCK, self.view).into_iter().find(|(_, c)| self.cfg.is_quorum(*c))
         else {
             return false;
         };
@@ -376,8 +365,7 @@ impl Node for IthsNode {
             Input::Deliver { from, msg } => {
                 match msg {
                     IthsMsg::Propose { view, value } => {
-                        if from == self.leader(view)
-                            && self.proposal.is_none_or(|(v, _)| view > v)
+                        if from == self.leader(view) && self.proposal.is_none_or(|(v, _)| view > v)
                         {
                             self.proposal = Some((view, value));
                         }
@@ -425,11 +413,9 @@ mod tests {
 
     fn sim_honest(n: usize) -> tetrabft_sim::Sim<IthsMsg, Value> {
         let cfg = Config::new(n).unwrap();
-        SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build(move |id| {
-                IthsNode::new(cfg, Params::new(100), id, Value::from_u64(id.0 as u64 + 1))
-            })
+        SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(move |id| {
+            IthsNode::new(cfg, Params::new(100), id, Value::from_u64(id.0 as u64 + 1))
+        })
     }
 
     #[test]
@@ -444,9 +430,8 @@ mod tests {
     #[test]
     fn agreement_under_crash_leader() {
         let cfg = Config::new(4).unwrap();
-        let mut sim = SimBuilder::new(4)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(move |id| {
+        let mut sim =
+            SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                 if id == NodeId(0) {
                     Box::new(tetrabft_sim::SilentNode::new())
                 } else {
@@ -463,9 +448,8 @@ mod tests {
         // Crash the view-0 leader: decisions land 9 delays after the nodes
         // converge on view 1 (timeout at 9Δ = 90, then 9 more unit hops).
         let cfg = Config::new(4).unwrap();
-        let mut sim = SimBuilder::new(4)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(move |id| {
+        let mut sim =
+            SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                 if id == NodeId(0) {
                     Box::new(tetrabft_sim::SilentNode::new())
                 } else {

@@ -281,11 +281,8 @@ impl BlogNode {
         if self.decided.is_some() {
             return false;
         }
-        let Some((value, _)) = self
-            .regs
-            .tallies(LOCK, self.view)
-            .into_iter()
-            .find(|(_, c)| self.cfg.is_quorum(*c))
+        let Some((value, _)) =
+            self.regs.tallies(LOCK, self.view).into_iter().find(|(_, c)| self.cfg.is_quorum(*c))
         else {
             return false;
         };
@@ -310,16 +307,13 @@ impl Node for BlogNode {
             Input::Deliver { from, msg } => {
                 match msg {
                     BlogMsg::Propose { view, value } => {
-                        if from == self.leader(view)
-                            && self.proposal.is_none_or(|(v, _)| view > v)
+                        if from == self.leader(view) && self.proposal.is_none_or(|(v, _)| view > v)
                         {
                             self.proposal = Some((view, value));
                         }
                     }
                     BlogMsg::Echo { view, value } => self.regs.record(from, ECHO, view, value),
-                    BlogMsg::Accept { view, value } => {
-                        self.regs.record(from, ACCEPT, view, value)
-                    }
+                    BlogMsg::Accept { view, value } => self.regs.record(from, ACCEPT, view, value),
                     BlogMsg::Lock { view, value } => self.regs.record(from, LOCK, view, value),
                     BlogMsg::Suggest { view, lock } => {
                         let slot = &mut self.suggests[from.index()];
@@ -371,9 +365,8 @@ mod tests {
         // lands ≥ Δ after the view change — non-responsiveness in action.
         let cfg = Config::new(4).unwrap();
         let delta = 50;
-        let mut sim = SimBuilder::new(4)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(move |id| {
+        let mut sim =
+            SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                 if id == NodeId(0) {
                     Box::new(tetrabft_sim::SilentNode::new())
                 } else {

@@ -365,8 +365,7 @@ impl PbftNode {
         let value = if self.view.is_zero() {
             self.input
         } else {
-            let acked =
-                self.acks.iter().flatten().filter(|v| **v >= self.view).count();
+            let acked = self.acks.iter().flatten().filter(|v| **v >= self.view).count();
             if !self.cfg.is_quorum(acked) {
                 return false;
             }
@@ -423,11 +422,8 @@ impl PbftNode {
         if self.decided.is_some() {
             return false;
         }
-        let Some((value, _)) = self
-            .regs
-            .tallies(COMMIT, self.view)
-            .into_iter()
-            .find(|(_, c)| self.cfg.is_quorum(*c))
+        let Some((value, _)) =
+            self.regs.tallies(COMMIT, self.view).into_iter().find(|(_, c)| self.cfg.is_quorum(*c))
         else {
             return false;
         };
@@ -462,9 +458,7 @@ impl Node for PbftNode {
                     PbftMsg::Prepare { view, value } => {
                         self.regs.record(from, PREPARE, view, value)
                     }
-                    PbftMsg::Commit { view, value } => {
-                        self.regs.record(from, COMMIT, view, value)
-                    }
+                    PbftMsg::Commit { view, value } => self.regs.record(from, COMMIT, view, value),
                     PbftMsg::Request { view } => self.requests.record(from, view),
                     PbftMsg::ViewChange { view, prepared, cert } => {
                         let slot = &mut self.vcs[from.index()];
@@ -526,9 +520,8 @@ mod tests {
     #[test]
     fn view_change_costs_seven_delays() {
         let cfg = Config::new(4).unwrap();
-        let mut sim = SimBuilder::new(4)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(move |id| {
+        let mut sim =
+            SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                 if id == NodeId(0) {
                     Box::new(tetrabft_sim::SilentNode::new())
                 } else {
@@ -565,11 +558,7 @@ mod tests {
             view: View(2),
             value: Value::from_u64(5),
             certs: (0..n)
-                .map(|i| VcRecord {
-                    node: NodeId(i as u16),
-                    prepared: None,
-                    cert: cert.clone(),
-                })
+                .map(|i| VcRecord { node: NodeId(i as u16), prepared: None, cert: cert.clone() })
                 .collect(),
         };
         assert!(vc.wire_size() > n * 18, "view-change must be O(n)");
@@ -579,11 +568,8 @@ mod tests {
     #[test]
     fn messages_roundtrip() {
         use tetrabft_wire::Wire;
-        let cert = vec![PrepareRecord {
-            node: NodeId(1),
-            view: View(1),
-            value: Value::from_u64(5),
-        }];
+        let cert =
+            vec![PrepareRecord { node: NodeId(1), view: View(1), value: Value::from_u64(5) }];
         for msg in [
             PbftMsg::PrePrepare { view: View(1), value: Value::from_u64(2) },
             PbftMsg::Prepare { view: View(1), value: Value::from_u64(2) },

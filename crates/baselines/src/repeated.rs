@@ -105,21 +105,13 @@ impl RepeatedTetra {
 
     fn next_instance(&mut self, ctx: &mut Ctx<'_>) {
         self.instance += 1;
-        self.node = TetraNode::new(
-            self.cfg,
-            self.params,
-            self.me,
-            Value::from_u64(self.instance),
-        );
+        self.node = TetraNode::new(self.cfg, self.params, self.me, Value::from_u64(self.instance));
         self.forward(Input::Start, ctx);
         // Replay buffered traffic that was ahead of us.
         for peer in 0..self.cfg.n() {
             if let Some(msg) = self.pending[peer].take() {
                 if msg.instance == self.instance {
-                    self.forward(
-                        Input::Deliver { from: NodeId(peer as u16), msg: msg.inner },
-                        ctx,
-                    );
+                    self.forward(Input::Deliver { from: NodeId(peer as u16), msg: msg.inner }, ctx);
                 } else if msg.instance > self.instance {
                     self.pending[peer] = Some(msg);
                 }
@@ -165,12 +157,8 @@ mod tests {
             .policy(LinkPolicy::synchronous(1))
             .build(move |id| RepeatedTetra::new(cfg, Params::new(100), id));
         sim.run_until(Time(50));
-        let times: Vec<u64> = sim
-            .outputs()
-            .iter()
-            .filter(|o| o.node == NodeId(0))
-            .map(|o| o.time.0)
-            .collect();
+        let times: Vec<u64> =
+            sim.outputs().iter().filter(|o| o.node == NodeId(0)).map(|o| o.time.0).collect();
         assert!(times.len() >= 9, "50 delays / 5 per instance ≈ 10 decisions");
         assert_eq!(times[0], 5);
         for pair in times.windows(2) {
@@ -185,12 +173,8 @@ mod tests {
             .policy(LinkPolicy::synchronous(1))
             .build(move |id| RepeatedTetra::new(cfg, Params::new(100), id));
         sim.run_until(Time(26));
-        let mine: Vec<(u64, Value)> = sim
-            .outputs()
-            .iter()
-            .filter(|o| o.node == NodeId(1))
-            .map(|o| o.output)
-            .collect();
+        let mine: Vec<(u64, Value)> =
+            sim.outputs().iter().filter(|o| o.node == NodeId(1)).map(|o| o.output).collect();
         for (i, (instance, value)) in mine.iter().enumerate() {
             assert_eq!(*instance, i as u64);
             // Instance i's leader is node (i % 4)… at view 0 leader is node

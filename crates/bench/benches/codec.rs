@@ -36,9 +36,7 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| black_box(Message::from_bytes(black_box(&vote_bytes)).unwrap()))
     });
 
-    c.bench_function("encode_suggest", |b| {
-        b.iter(|| black_box(black_box(&suggest).to_bytes()))
-    });
+    c.bench_function("encode_suggest", |b| b.iter(|| black_box(black_box(&suggest).to_bytes())));
     let suggest_bytes = suggest.to_bytes();
     c.bench_function("decode_suggest", |b| {
         b.iter(|| black_box(Message::from_bytes(black_box(&suggest_bytes)).unwrap()))

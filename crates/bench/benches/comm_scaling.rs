@@ -10,7 +10,9 @@
 //!   history).
 
 use tetrabft::{Params, TetraNode};
-use tetrabft_bench::{pbft_loaded_view_change, print_table, run_protocol, scaling_exponent, Protocol, Scenario};
+use tetrabft_bench::{
+    pbft_loaded_view_change, print_table, run_protocol, scaling_exponent, Protocol, Scenario,
+};
 use tetrabft_types::{Config, NodeId, Value};
 
 fn main() {
@@ -87,7 +89,8 @@ fn main() {
     assert!(pbft_exp > tetra_exp + 0.5, "PBFT view change must scale a power worse");
 
     // Storage: constant in the number of views.
-    let node = TetraNode::new(Config::new(4).unwrap(), Params::new(10), NodeId(0), Value::from_u64(0));
+    let node =
+        TetraNode::new(Config::new(4).unwrap(), Params::new(10), NodeId(0), Value::from_u64(0));
     println!(
         "\nstorage: TetraBFT persistent state = {} bytes, independent of views and of n \
          (six vote registers — Table 1's O(1)).",

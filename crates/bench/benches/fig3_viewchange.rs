@@ -58,7 +58,13 @@ fn main() {
         .record_trace(true)
         .build_boxed(|id| {
             let inner = MultiShotNode::new(cfg, Params::new(delta), id);
-            if id == MultiShotNode::leader_of(&cfg, tetrabft_types::Slot(failed_slot), tetrabft_types::View(0)) {
+            if id
+                == MultiShotNode::leader_of(
+                    &cfg,
+                    tetrabft_types::Slot(failed_slot),
+                    tetrabft_types::View(0),
+                )
+            {
                 Box::new(SuppressSlot { inner, slot: failed_slot })
             } else {
                 Box::new(inner)
@@ -116,9 +122,7 @@ fn main() {
         "the failed slot must be re-proposed in a later view"
     );
     assert!(
-        ordered
-            .iter()
-            .any(|(_, s, v, k)| *k == "proposal" && *v == 0 && *s > failed_slot + 1),
+        ordered.iter().any(|(_, s, v, k)| *k == "proposal" && *v == 0 && *s > failed_slot + 1),
         "slots beyond the recovery window restart in view 0 (Fig. 3's slot 4)"
     );
     assert!(

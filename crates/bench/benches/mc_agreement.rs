@@ -41,8 +41,15 @@ fn main() {
     print_table(
         "Section 5 — agreement model checking (4 nodes, 1 angelic Byzantine)",
         &[
-            "instance", "mode", "states", "transitions", "depth", "exhausted",
-            "agreement violations", "invariant violations", "time",
+            "instance",
+            "mode",
+            "states",
+            "transitions",
+            "depth",
+            "exhausted",
+            "agreement violations",
+            "invariant violations",
+            "time",
         ],
         &rows,
     );

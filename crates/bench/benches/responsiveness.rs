@@ -9,18 +9,14 @@
 //! 9Δ timeout.
 
 use tetrabft::Params;
-use tetrabft_bench::print_table;
 use tetrabft_baselines::{BlogNode, IthsNode};
+use tetrabft_bench::print_table;
 use tetrabft_sim::{LinkPolicy, SilentNode, SimBuilder};
 use tetrabft_types::{Config, NodeId, Value};
 
 fn recovery_after_timeout<F>(delta: u64, hop: u64, build: F) -> u64
 where
-    F: Fn(
-        NodeId,
-    ) -> Box<
-        dyn tetrabft_sim::Node<Msg = tetrabft::Message, Output = Value>,
-    >,
+    F: Fn(NodeId) -> Box<dyn tetrabft_sim::Node<Msg = tetrabft::Message, Output = Value>>,
 {
     let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(hop)).build_boxed(build);
     assert!(sim.run_until_outputs(3, 50_000_000));
@@ -40,20 +36,14 @@ fn main() {
             if id == NodeId(0) {
                 Box::new(SilentNode::new())
             } else {
-                Box::new(tetrabft::TetraNode::new(
-                    cfg,
-                    Params::new(delta),
-                    id,
-                    Value::from_u64(7),
-                ))
+                Box::new(tetrabft::TetraNode::new(cfg, Params::new(delta), id, Value::from_u64(7)))
             }
         });
 
         // IT-HS (responsive): expect ≈ 9δ.
         let iths = {
-            let mut sim = SimBuilder::new(n)
-                .policy(LinkPolicy::synchronous(hop))
-                .build_boxed(|id| {
+            let mut sim =
+                SimBuilder::new(n).policy(LinkPolicy::synchronous(hop)).build_boxed(|id| {
                     if id == NodeId(0) {
                         Box::new(SilentNode::new())
                     } else {
@@ -66,9 +56,8 @@ fn main() {
 
         // Blog IT-HS (non-responsive): expect ≈ Δ + 5δ, flat in δ.
         let blog = {
-            let mut sim = SimBuilder::new(n)
-                .policy(LinkPolicy::synchronous(hop))
-                .build_boxed(|id| {
+            let mut sim =
+                SimBuilder::new(n).policy(LinkPolicy::synchronous(hop)).build_boxed(|id| {
                     if id == NodeId(0) {
                         Box::new(SilentNode::new())
                     } else {

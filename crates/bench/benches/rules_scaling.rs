@@ -93,12 +93,7 @@ fn bench_rules(c: &mut Criterion) {
         let input = proofs(16, v);
         group.bench_with_input(BenchmarkId::new("v_sweep_n16", v), &v, |b, _| {
             b.iter(|| {
-                black_box(node_determine_safe(
-                    &cfg,
-                    black_box(&input),
-                    View(v),
-                    Value::from_u64(0),
-                ))
+                black_box(node_determine_safe(&cfg, black_box(&input), View(v), Value::from_u64(0)))
             })
         });
     }

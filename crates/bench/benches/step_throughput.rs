@@ -17,11 +17,9 @@ fn bench_steps(c: &mut Criterion) {
         let cfg = Config::new(n).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let mut sim = SimBuilder::new(n)
-                    .policy(LinkPolicy::synchronous(1))
-                    .build(|id| {
-                        TetraNode::new(cfg, Params::new(1_000_000), id, Value::from_u64(1))
-                    });
+                let mut sim = SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(|id| {
+                    TetraNode::new(cfg, Params::new(1_000_000), id, Value::from_u64(1))
+                });
                 assert!(sim.run_until_outputs(n, 10_000_000));
                 black_box(sim.outputs().len())
             })

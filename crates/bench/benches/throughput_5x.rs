@@ -22,21 +22,13 @@ fn main() {
             .policy(LinkPolicy::synchronous(1))
             .build(|id| MultiShotNode::new(cfg, Params::new(1_000_000), id));
         pipelined.run_until(Time(h));
-        let blocks = pipelined
-            .outputs()
-            .iter()
-            .filter(|o| o.node == NodeId(0))
-            .count() as f64;
+        let blocks = pipelined.outputs().iter().filter(|o| o.node == NodeId(0)).count() as f64;
 
         let mut repeated = SimBuilder::new(n)
             .policy(LinkPolicy::synchronous(1))
             .build(|id| RepeatedTetra::new(cfg, Params::new(1_000_000), id));
         repeated.run_until(Time(h));
-        let decisions = repeated
-            .outputs()
-            .iter()
-            .filter(|o| o.node == NodeId(0))
-            .count() as f64;
+        let decisions = repeated.outputs().iter().filter(|o| o.node == NodeId(0)).count() as f64;
 
         let ratio = blocks / decisions;
         rows.push(vec![

@@ -10,7 +10,7 @@
 
 use tetrabft::{Params, TetraNode};
 use tetrabft_baselines::{BlogNode, IthsNode, PbftNode};
-use tetrabft_sim::{LinkPolicy, Sim, SimBuilder, SilentNode, Time, WireSize};
+use tetrabft_sim::{LinkPolicy, SilentNode, Sim, SimBuilder, Time, WireSize};
 use tetrabft_types::{Config, NodeId, Value};
 
 /// Latency + communication measurements for one protocol scenario.
@@ -209,9 +209,8 @@ impl tetrabft_sim::Node for StalledCommitPbft {
 pub fn pbft_loaded_view_change(n: usize, delta: u64) -> Measurement {
     let cfg = Config::new(n).expect("valid n");
     let params = Params::new(delta);
-    let sim = SimBuilder::new(n)
-        .policy(LinkPolicy::synchronous(1))
-        .build(move |id| StalledCommitPbft {
+    let sim =
+        SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(move |id| StalledCommitPbft {
             inner: PbftNode::new(cfg, params, id, Value::from_u64(u64::from(id.0) + 1)),
         });
     measure(sim, n)
@@ -227,18 +226,12 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         }
     }
     let fmt_row = |cells: Vec<String>| {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:<w$}"))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
         format!("| {} |", padded.join(" | "))
     };
     println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }

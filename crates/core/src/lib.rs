@@ -24,7 +24,7 @@
 //!
 //! The implementation is sans-I/O: [`TetraNode`] is a deterministic state
 //! machine implementing [`tetrabft_sim::Node`], equally at home under the
-//! discrete-event simulator, the tokio transport of `tetrabft-net`, or a
+//! discrete-event simulator, the TCP transport of `tetrabft-net`, or a
 //! model checker.
 //!
 //! # Examples

@@ -1,13 +1,12 @@
 //! Message types of Basic TetraBFT (Section 3.1).
 
-use serde::{Deserialize, Serialize};
 use tetrabft_sim::WireSize;
 use tetrabft_types::{Phase, Value, View, VoteInfo};
 use tetrabft_wire::{Reader, Wire, WireError, Writer};
 
 /// Payload of a `suggest` message: the sender's historical `vote-2`/`vote-3`
 /// records, used by leaders to determine safe values (Rule 1 / Rule 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SuggestData {
     /// Highest `vote-2` the sender ever cast.
     pub vote2: Option<VoteInfo>,
@@ -20,7 +19,7 @@ pub struct SuggestData {
 /// Payload of a `proof` message: same structure as [`SuggestData`] but with
 /// `vote-1` in place of `vote-2` and `vote-4` in place of `vote-3`, used by
 /// followers to validate proposals (Rule 3 / Rule 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProofData {
     /// Highest `vote-1` the sender ever cast.
     pub vote1: Option<VoteInfo>,
@@ -36,7 +35,7 @@ pub struct ProofData {
 /// suggest/proof/view-change appear only when recovering from asynchrony or
 /// a faulty leader — the property that distinguishes TetraBFT's pipelined
 /// extension from IT-HS's (Section 1.2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// `⟨proposal, v, val⟩` — only sent by the leader of `view`.
     Proposal {
@@ -220,11 +219,7 @@ mod tests {
         }
         roundtrip(Message::Suggest {
             view: View(4),
-            data: SuggestData {
-                vote2: Some(vi(3, 1)),
-                prev_vote2: Some(vi(1, 2)),
-                vote3: None,
-            },
+            data: SuggestData { vote2: Some(vi(3, 1)), prev_vote2: Some(vi(1, 2)), vote3: None },
         });
         roundtrip(Message::Proof {
             view: View(4),

@@ -159,13 +159,9 @@ impl TetraNode {
         if self.proposed || self.leader(self.view) != self.me {
             return false;
         }
-        let suggests = if self.view.is_zero() {
-            Vec::new()
-        } else {
-            self.regs.suggests_at(self.view)
-        };
-        let Some(value) = leader_determine_safe(&self.cfg, &suggests, self.view, self.input)
-        else {
+        let suggests =
+            if self.view.is_zero() { Vec::new() } else { self.regs.suggests_at(self.view) };
+        let Some(value) = leader_determine_safe(&self.cfg, &suggests, self.view, self.input) else {
             return false;
         };
         self.proposed = true;
@@ -284,11 +280,9 @@ mod tests {
     }
 
     fn honest_sim(n: usize, delta: u64) -> tetrabft_sim::Sim<Message, Value> {
-        SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build(move |id| {
-                TetraNode::new(cfg(n), Params::new(delta), id, Value::from_u64(id.0 as u64 + 1))
-            })
+        SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(move |id| {
+            TetraNode::new(cfg(n), Params::new(delta), id, Value::from_u64(id.0 as u64 + 1))
+        })
     }
 
     #[test]
@@ -317,9 +311,7 @@ mod tests {
         let n = 4;
         let mut sim = SimBuilder::new(n)
             .policy(LinkPolicy::synchronous(1))
-            .build(move |id| {
-                TetraNode::new(cfg(n), Params::new(100), id, Value::from_u64(42))
-            });
+            .build(move |id| TetraNode::new(cfg(n), Params::new(100), id, Value::from_u64(42)));
         assert!(sim.run_until_outputs(n, 1_000_000));
         assert!(sim.outputs().iter().all(|o| o.output == Value::from_u64(42)));
     }
@@ -334,9 +326,8 @@ mod tests {
     #[test]
     fn crashed_leader_forces_view_change_then_decision() {
         let n = 4;
-        let mut sim = SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(move |id| {
+        let mut sim =
+            SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                 if id == NodeId(0) {
                     // Leader of view 0 is down.
                     Box::new(tetrabft_sim::SilentNode::new())
@@ -361,18 +352,12 @@ mod tests {
     #[test]
     fn crashed_follower_does_not_delay_good_case() {
         let n = 4;
-        let mut sim = SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(move |id| {
+        let mut sim =
+            SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                 if id == NodeId(3) {
                     Box::new(tetrabft_sim::SilentNode::new())
                 } else {
-                    Box::new(TetraNode::new(
-                        cfg(n),
-                        Params::new(100),
-                        id,
-                        Value::from_u64(7),
-                    ))
+                    Box::new(TetraNode::new(cfg(n), Params::new(100), id, Value::from_u64(7)))
                 }
             });
         assert!(sim.run_until_outputs(3, 1_000_000));
@@ -384,11 +369,10 @@ mod tests {
         // Messages are lost until GST=500; with Δ=10 and δ=1 the system
         // recovers via view changes and decides shortly after GST.
         let n = 4;
-        let mut sim = SimBuilder::new(n)
-            .policy(LinkPolicy::partial_synchrony(Time(500), 10, 1))
-            .build(move |id| {
-                TetraNode::new(cfg(n), Params::new(10), id, Value::from_u64(id.0 as u64))
-            });
+        let mut sim =
+            SimBuilder::new(n).policy(LinkPolicy::partial_synchrony(Time(500), 10, 1)).build(
+                move |id| TetraNode::new(cfg(n), Params::new(10), id, Value::from_u64(id.0 as u64)),
+            );
         assert!(sim.run_until_outputs(n, 5_000_000), "must decide after GST");
         let first = sim.outputs()[0].output;
         assert!(sim.outputs().iter().all(|o| o.output == first));
@@ -399,10 +383,8 @@ mod tests {
     fn jittered_network_preserves_agreement() {
         for seed in 0..10 {
             let n = 4;
-            let mut sim = SimBuilder::new(n)
-                .seed(seed)
-                .policy(LinkPolicy::jittered(1, 9))
-                .build(move |id| {
+            let mut sim =
+                SimBuilder::new(n).seed(seed).policy(LinkPolicy::jittered(1, 9)).build(move |id| {
                     TetraNode::new(cfg(n), Params::new(20), id, Value::from_u64(id.0 as u64))
                 });
             assert!(sim.run_until_outputs(n, 5_000_000), "seed {seed}");
@@ -418,11 +400,10 @@ mod tests {
     fn persistent_storage_is_constant() {
         let node = TetraNode::new(cfg(4), Params::new(10), NodeId(0), Value::from_u64(0));
         let before = node.persistent_bytes();
-        let mut sim = SimBuilder::new(4)
-            .policy(LinkPolicy::partial_synchrony(Time(300), 10, 1))
-            .build(move |id| {
-                TetraNode::new(cfg(4), Params::new(10), id, Value::from_u64(id.0 as u64))
-            });
+        let mut sim =
+            SimBuilder::new(4).policy(LinkPolicy::partial_synchrony(Time(300), 10, 1)).build(
+                move |id| TetraNode::new(cfg(4), Params::new(10), id, Value::from_u64(id.0 as u64)),
+            );
         sim.run_until_outputs(4, 5_000_000);
         // Storage never grew despite many views having executed.
         // (Checked structurally: persistent_bytes is view-independent.)
@@ -442,9 +423,6 @@ mod tests {
         let b10 = bytes_for(10);
         let b40 = bytes_for(40);
         let ratio = b40 / b10;
-        assert!(
-            ratio < 8.0,
-            "4x nodes must cost ~4x bytes per node (linear), got ratio {ratio}"
-        );
+        assert!(ratio < 8.0, "4x nodes must cost ~4x bytes per node (linear), got ratio {ratio}");
     }
 }

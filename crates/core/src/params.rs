@@ -1,7 +1,5 @@
 //! Timing parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Timing parameters of the protocol.
 ///
 /// The only parameter TetraBFT needs is Δ, the post-GST delivery bound. The
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.delta(), 10);
 /// assert_eq!(p.view_timeout(), 90);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Params {
     delta: u64,
     timeout_factor: u64,

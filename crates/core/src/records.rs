@@ -126,10 +126,7 @@ impl Registers {
     /// Number of peers whose latest `phase` vote is for exactly
     /// `(view, value)`.
     pub fn count_votes(&self, phase: Phase, view: View, value: Value) -> usize {
-        self.peers
-            .iter()
-            .filter(|p| p.vote(phase) == Some(VoteInfo::new(view, value)))
-            .count()
+        self.peers.iter().filter(|p| p.vote(phase) == Some(VoteInfo::new(view, value))).count()
     }
 
     /// Number of peers whose latest `phase` vote is for `value`, in *any*
@@ -138,10 +135,7 @@ impl Registers {
     /// of the views the ancestors were proposed in (cf. Fig. 3, where votes
     /// at slot 4 / view 0 finalize the block at slot 1 / view 1).
     pub fn count_votes_value(&self, phase: Phase, value: Value) -> usize {
-        self.peers
-            .iter()
-            .filter(|p| p.vote(phase).is_some_and(|v| v.value == value))
-            .count()
+        self.peers.iter().filter(|p| p.vote(phase).is_some_and(|v| v.value == value)).count()
     }
 
     /// Distinct values voted for in `phase` in *any* view, with counts
@@ -178,10 +172,7 @@ impl Registers {
 
     /// The proposal the leader of `view` made in `view`, if received.
     pub fn proposal_of(&self, leader: NodeId, view: View) -> Option<Value> {
-        self.peers[leader.index()]
-            .proposal
-            .filter(|p| p.view == view)
-            .map(|p| p.value)
+        self.peers[leader.index()].proposal.filter(|p| p.view == view).map(|p| p.value)
     }
 
     /// All suggest payloads sent for exactly `view`.
@@ -207,20 +198,13 @@ impl Registers {
     /// Number of peers whose highest view-change is `≥ view` (see DESIGN.md
     /// §2 for why `≥` is the right constant-storage counting rule).
     pub fn view_change_support(&self, view: View) -> usize {
-        self.peers
-            .iter()
-            .filter(|p| p.view_change.is_some_and(|v| v >= view))
-            .count()
+        self.peers.iter().filter(|p| p.view_change.is_some_and(|v| v >= view)).count()
     }
 
     /// Distinct view-change views strictly greater than `above`, descending.
     pub fn view_change_candidates(&self, above: View) -> Vec<View> {
-        let mut views: Vec<View> = self
-            .peers
-            .iter()
-            .filter_map(|p| p.view_change)
-            .filter(|v| *v > above)
-            .collect();
+        let mut views: Vec<View> =
+            self.peers.iter().filter_map(|p| p.view_change).filter(|v| *v > above).collect();
         views.sort_unstable();
         views.dedup();
         views.reverse();
@@ -335,10 +319,7 @@ mod tests {
         assert_eq!(regs.view_change_support(View(2)), 2);
         assert_eq!(regs.view_change_support(View(5)), 1);
         assert_eq!(regs.view_change_support(View(6)), 0);
-        assert_eq!(
-            regs.view_change_candidates(View(1)),
-            vec![View(5), View(2)]
-        );
+        assert_eq!(regs.view_change_candidates(View(1)), vec![View(5), View(2)]);
     }
 
     #[test]

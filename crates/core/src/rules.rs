@@ -50,12 +50,7 @@ use crate::msg::{ProofData, SuggestData};
 /// assert!(!claims_safe(vote, None, View(3), Value::from_u64(2)));
 /// assert!(claims_safe(None, None, View(0), Value::from_u64(2)));
 /// ```
-pub fn claims_safe(
-    vote: Option<VoteInfo>,
-    prev: Option<VoteInfo>,
-    at: View,
-    value: Value,
-) -> bool {
+pub fn claims_safe(vote: Option<VoteInfo>, prev: Option<VoteInfo>, at: View, value: Value) -> bool {
     if at.is_zero() {
         return true;
     }
@@ -172,12 +167,7 @@ fn candidate_values(suggests: &[SuggestData], vp: View, default: Value) -> Vec<V
 /// Returns `false` to mean "not yet certifiable from these proofs" — more
 /// proofs may arrive and flip the answer (Lemma 4 guarantees it flips once
 /// every well-behaved proof is in, when the leader is well-behaved).
-pub fn node_determine_safe(
-    cfg: &Config,
-    proofs: &[ProofData],
-    view: View,
-    value: Value,
-) -> bool {
+pub fn node_determine_safe(cfg: &Config, proofs: &[ProofData], view: View, value: Value) -> bool {
     if view.is_zero() {
         return true;
     }
@@ -272,10 +262,8 @@ fn blocking_claims(
     let mut out = Vec::new();
     for vp in (0..view.0).map(View) {
         for &value in &values {
-            let mask: Vec<bool> = proofs
-                .iter()
-                .map(|p| claims_safe(p.vote1, p.prev_vote1, vp, value))
-                .collect();
+            let mask: Vec<bool> =
+                proofs.iter().map(|p| claims_safe(p.vote1, p.prev_vote1, vp, value)).collect();
             let count = mask.iter().filter(|b| **b).count();
             if cfg.is_blocking(count) {
                 out.push((vp, value, mask));
@@ -332,10 +320,7 @@ mod tests {
 
     #[test]
     fn leader_view_zero_proposes_default() {
-        assert_eq!(
-            leader_determine_safe(&cfg4(), &[], View(0), val(9)),
-            Some(val(9))
-        );
+        assert_eq!(leader_determine_safe(&cfg4(), &[], View(0), val(9)), Some(val(9)));
     }
 
     #[test]
@@ -348,10 +333,7 @@ mod tests {
     fn leader_rule_2a_fresh_system() {
         // Quorum reports no vote-3 ever: any value (the default) is safe.
         let s = SuggestData::default();
-        assert_eq!(
-            leader_determine_safe(&cfg4(), &[s, s, s], View(1), val(9)),
-            Some(val(9))
-        );
+        assert_eq!(leader_determine_safe(&cfg4(), &[s, s, s], View(1), val(9)), Some(val(9)));
     }
 
     #[test]
@@ -388,10 +370,7 @@ mod tests {
         // At pivot 2: quorum ok (others' vote3 None), but claimers of A = 1.
         // At pivot 1: quorum fails for B (A's vote3 at 2 ≥ 1... actually
         // vote3.view=2 > 1 violates 2(b)i), so nothing is certified.
-        assert_eq!(
-            leader_determine_safe(&cfg4(), &[voted, blind1, blind2], View(3), val(9)),
-            None
-        );
+        assert_eq!(leader_determine_safe(&cfg4(), &[voted, blind1, blind2], View(3), val(9)), None);
     }
 
     #[test]

@@ -51,11 +51,7 @@ impl Node for EquivocatingLeader {
             self.split_send(ctx, |value| Message::Proposal { view: View::ZERO, value });
             if self.vote_both_ways {
                 for phase in Phase::ALL {
-                    self.split_send(ctx, |value| Message::Vote {
-                        phase,
-                        view: View::ZERO,
-                        value,
-                    });
+                    self.split_send(ctx, |value| Message::Vote { phase, view: View::ZERO, value });
                 }
             }
         }
@@ -217,8 +213,8 @@ impl Node for StaleReplayer {
 mod tests {
     use super::*;
     use crate::{Params, TetraNode};
-    use tetrabft_types::NodeId;
     use tetrabft_sim::{LinkPolicy, SimBuilder};
+    use tetrabft_types::NodeId;
 
     fn cfg(n: usize) -> Config {
         Config::new(n).unwrap()

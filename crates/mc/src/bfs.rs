@@ -141,9 +141,6 @@ mod tests {
             s.votes[p].set(1, 4, 1);
         }
         assert_eq!(s.decided(&cfg).len(), 2, "the forged state disagrees");
-        assert!(
-            !crate::invariants::votes_safe(&cfg, &s),
-            "and the inductive invariant rejects it"
-        );
+        assert!(!crate::invariants::votes_safe(&cfg, &s), "and the inductive invariant rejects it");
     }
 }

@@ -60,10 +60,7 @@ pub fn safe_at(cfg: &ModelCfg, state: &State, round: u8, value: u8) -> bool {
 
 /// `VotesSafe`: every honest vote is for a value safe at its round.
 pub fn votes_safe(cfg: &ModelCfg, state: &State) -> bool {
-    state
-        .votes
-        .iter()
-        .all(|table| table.iter().all(|vt| safe_at(cfg, state, vt.round, vt.value)))
+    state.votes.iter().all(|table| table.iter().all(|vt| safe_at(cfg, state, vt.round, vt.value)))
 }
 
 /// The full `ConsistencyInvariant` conjunction. (`TypeOK` and

@@ -121,11 +121,7 @@ impl State {
     /// `Accepted(v, r, phase)`: a quorum voted `(r, phase, v)`; the `f`
     /// angelic members always help, so `n − 2f` honest votes suffice.
     pub fn accepted(&self, cfg: &ModelCfg, value: u8, round: u8, phase: u8) -> bool {
-        let honest = self
-            .votes
-            .iter()
-            .filter(|t| t.get(round, phase) == Some(value))
-            .count();
+        let honest = self.votes.iter().filter(|t| t.get(round, phase) == Some(value)).count();
         honest >= cfg.honest_quorum()
     }
 
@@ -303,9 +299,7 @@ mod tests {
         let s = State::initial(&cfg());
         let actions = s.enabled_actions(&cfg());
         // Vote1 needs round[p] == r which is -1 initially: no votes at all.
-        assert!(actions
-            .iter()
-            .all(|a| matches!(a, ModelAction::StartRound { .. })));
+        assert!(actions.iter().all(|a| matches!(a, ModelAction::StartRound { .. })));
         assert!(!actions.is_empty());
     }
 

@@ -41,27 +41,21 @@ struct Chain {
 
 fn chain_strategy(cfg: ModelCfg) -> impl Strategy<Value = Chain> {
     let honest = cfg.honest();
-    (
-        0..cfg.rounds,
-        0..cfg.values,
-        proptest::collection::vec(0u8..=4, honest..=honest),
-    )
-        .prop_map(move |(round, value, mut depth)| {
+    (0..cfg.rounds, 0..cfg.values, proptest::collection::vec(0u8..=4, honest..=honest)).prop_map(
+        move |(round, value, mut depth)| {
             // Repair: phase k+1 votes need an honest quorum at phase k.
             // Sort a copy to find how deep a quorum reaches, then clamp.
             let mut sorted = depth.clone();
             sorted.sort_unstable_by(|a, b| b.cmp(a));
-            let quorum_depth = sorted
-                .get(cfg.honest_quorum() - 1)
-                .copied()
-                .unwrap_or(0);
+            let quorum_depth = sorted.get(cfg.honest_quorum() - 1).copied().unwrap_or(0);
             for d in &mut depth {
                 // A node may be at most one phase beyond what a quorum of
                 // the previous phase justifies.
                 *d = (*d).min(quorum_depth + 1).min(4);
             }
             Chain { round, value, depth }
-        })
+        },
+    )
 }
 
 fn state_from_chains(cfg: &ModelCfg, chains: &[Chain]) -> State {

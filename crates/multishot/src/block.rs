@@ -1,6 +1,5 @@
 //! Blocks, hash pointers, and the genesis block.
 
-use serde::{Deserialize, Serialize};
 use tetrabft_types::{Slot, Value};
 use tetrabft_wire::{Reader, Wire, WireError, Writer};
 
@@ -10,9 +9,7 @@ use tetrabft_wire::{Reader, Wire, WireError, Writer};
 /// protocol and never relies on unforgeability; the hash pointer is only a
 /// compact way to name a parent block (collision-resistance here is a
 /// modelling convenience, per DESIGN.md §6).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockHash(pub u64);
 
 /// The hash of the implicit genesis block (slot 0).
@@ -56,7 +53,7 @@ impl std::fmt::Display for BlockHash {
 /// let b2 = Block::new(Slot(2), b1.hash(), vec![]);
 /// assert_eq!(b2.parent, b1.hash());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// Slot (height) of the block.
     pub slot: Slot,
@@ -173,9 +170,6 @@ mod tests {
         Slot(1).encode(&mut w);
         GENESIS_HASH.encode(&mut w);
         w.put_u32(u32::MAX);
-        assert!(matches!(
-            Block::from_bytes(w.as_bytes()),
-            Err(WireError::LengthOverflow { .. })
-        ));
+        assert!(matches!(Block::from_bytes(w.as_bytes()), Err(WireError::LengthOverflow { .. })));
     }
 }

@@ -1,6 +1,5 @@
 //! Message types of Multi-shot TetraBFT (Section 6).
 
-use serde::{Deserialize, Serialize};
 use tetrabft::{ProofData, SuggestData};
 use tetrabft_sim::WireSize;
 use tetrabft_types::{Slot, View};
@@ -12,7 +11,7 @@ use crate::block::{Block, BlockHash};
 ///
 /// The good case uses only [`MsMessage::Proposal`] and [`MsMessage::Vote`];
 /// suggest/proof/view-change traffic appears only during recovery.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MsMessage {
     /// A leader's block proposal for `(block.slot, view)`.
     Proposal {

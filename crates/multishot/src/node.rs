@@ -200,10 +200,8 @@ impl MultiShotNode {
             let Some(ancestor) = self.store.ancestor(hash, k as usize) else { break };
             let phase = Phase::from_u8(k as u8 + 1).expect("k+1 in 1..=4");
             if let Some(inst) = self.instances.get_mut(&target) {
-                inst.regs.record(
-                    from,
-                    &CoreMessage::Vote { phase, view, value: ancestor.as_value() },
-                );
+                inst.regs
+                    .record(from, &CoreMessage::Vote { phase, view, value: ancestor.as_value() });
             }
         }
     }
@@ -425,10 +423,9 @@ impl MultiShotNode {
             if let Some(block) = self.store.get(hash) {
                 let grandparent_ok = match prev.prev() {
                     Some(gp) if gp == self.finalized => block.parent == self.finalized_hash,
-                    Some(gp) => self
-                        .instances
-                        .get(&gp)
-                        .is_some_and(|gi| gi.notarized == Some(block.parent)),
+                    Some(gp) => {
+                        self.instances.get(&gp).is_some_and(|gi| gi.notarized == Some(block.parent))
+                    }
                     None => true,
                 };
                 if grandparent_ok {
@@ -468,10 +465,9 @@ impl MultiShotNode {
         // Parent must be notarized (genesis/finalized prefix counts).
         let parent_ok = match slot.prev() {
             Some(prev) if prev == self.finalized => block.parent == self.finalized_hash,
-            Some(prev) => self
-                .instances
-                .get(&prev)
-                .is_some_and(|pi| pi.notarized == Some(block.parent)),
+            Some(prev) => {
+                self.instances.get(&prev).is_some_and(|pi| pi.notarized == Some(block.parent))
+            }
             None => false, // slot 0 is genesis; never voted on
         };
         if !parent_ok {
@@ -623,12 +619,8 @@ mod tests {
         sim.run_until(Time(30));
         let chain = chain_of(&sim, NodeId(0));
         assert!(chain.len() >= 24, "expected ~1 block/delay, got {}", chain.len());
-        let times: Vec<u64> = sim
-            .outputs()
-            .iter()
-            .filter(|o| o.node == NodeId(0))
-            .map(|o| o.time.0)
-            .collect();
+        let times: Vec<u64> =
+            sim.outputs().iter().filter(|o| o.node == NodeId(0)).map(|o| o.time.0).collect();
         assert_eq!(times[0], 5, "first finalization at 5 message delays");
         for pair in times.windows(2) {
             assert_eq!(pair[1] - pair[0], 1, "then one block per message delay");
@@ -656,15 +648,13 @@ mod tests {
         // Node 3 is silent; it leads slots 3, 7, 11, … (view 0). The chain
         // must stall there, view-change, and continue.
         let n = 4;
-        let mut sim = SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(|id| {
-                if id == NodeId(3) {
-                    Box::new(tetrabft_sim::SilentNode::new())
-                } else {
-                    Box::new(MultiShotNode::new(cfg(4), Params::new(5), id))
-                }
-            });
+        let mut sim = SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build_boxed(|id| {
+            if id == NodeId(3) {
+                Box::new(tetrabft_sim::SilentNode::new())
+            } else {
+                Box::new(MultiShotNode::new(cfg(4), Params::new(5), id))
+            }
+        });
         sim.run_until(Time(400));
         let chain = chain_of(&sim, NodeId(0));
         assert!(
@@ -697,13 +687,11 @@ mod tests {
         let n = 4;
         let tx = b"pay alice 5".to_vec();
         let tx2 = tx.clone();
-        let mut sim = SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build(move |id| {
-                let mut node = MultiShotNode::new(cfg(4), Params::new(100), id);
-                node.submit_tx(tx2.clone());
-                node
-            });
+        let mut sim = SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(move |id| {
+            let mut node = MultiShotNode::new(cfg(4), Params::new(100), id);
+            node.submit_tx(tx2.clone());
+            node
+        });
         sim.run_until(Time(40));
         let included = sim
             .outputs()

@@ -1,9 +1,9 @@
 //! Localhost cluster orchestration.
 
 use std::io;
-
-use tokio::net::TcpListener;
-use tokio::sync::mpsc;
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::time::Duration;
 
 use tetrabft_sim::Node;
 use tetrabft_types::NodeId;
@@ -14,14 +14,14 @@ use crate::runner::{run_node, NodeHandle};
 /// A running localhost cluster: `n` nodes in one process, real TCP between
 /// them.
 ///
-/// Dropping the cluster aborts every node task.
+/// Dropping the cluster stops every node.
 ///
 /// # Examples
 ///
 /// See the crate-level example.
 #[derive(Debug)]
 pub struct Cluster<O> {
-    outputs: mpsc::UnboundedReceiver<(NodeId, O)>,
+    outputs: mpsc::Receiver<(NodeId, O)>,
     handles: Vec<NodeHandle>,
 }
 
@@ -32,7 +32,7 @@ impl<O> Cluster<O> {
     /// # Errors
     ///
     /// Propagates socket binding errors.
-    pub async fn spawn<N, F>(n: usize, mut make: F) -> io::Result<Cluster<O>>
+    pub fn spawn<N, F>(n: usize, mut make: F) -> io::Result<Cluster<O>>
     where
         N: Node<Output = O> + Send + 'static,
         N::Msg: Wire + Send + 'static,
@@ -42,23 +42,28 @@ impl<O> Cluster<O> {
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {
-            let listener = TcpListener::bind("127.0.0.1:0").await?;
+            let listener = TcpListener::bind("127.0.0.1:0")?;
             addrs.push(listener.local_addr()?);
             listeners.push(listener);
         }
-        let (tx, rx) = mpsc::unbounded_channel();
+        let (tx, rx) = mpsc::channel();
         let mut handles = Vec::with_capacity(n);
         for (i, listener) in listeners.into_iter().enumerate() {
             let id = NodeId(i as u16);
-            let handle = run_node(make(id), id, listener, addrs.clone(), tx.clone()).await?;
+            let handle = run_node(make(id), id, listener, addrs.clone(), tx.clone())?;
             handles.push(handle);
         }
         Ok(Cluster { outputs: rx, handles })
     }
 
     /// Waits for the next protocol output from any node.
-    pub async fn next_output(&mut self) -> Option<(NodeId, O)> {
-        self.outputs.recv().await
+    pub fn next_output(&mut self) -> Option<(NodeId, O)> {
+        self.outputs.recv().ok()
+    }
+
+    /// Waits for the next protocol output, giving up after `timeout`.
+    pub fn next_output_timeout(&mut self, timeout: Duration) -> Option<(NodeId, O)> {
+        self.outputs.recv_timeout(timeout).ok()
     }
 
     /// Number of nodes.

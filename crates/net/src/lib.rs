@@ -1,9 +1,10 @@
-//! Tokio TCP deployment for TetraBFT state machines — the "implement
+//! TCP deployment for TetraBFT state machines — the "implement
 //! Multi-shot TetraBFT and conduct a practical evaluation" direction the
 //! paper lists as future work.
 //!
 //! The same sans-I/O [`tetrabft_sim::Node`] state machines the simulator
-//! drives run here over real sockets:
+//! drives run here over real sockets (std networking, one thread per
+//! connection — no async runtime dependency):
 //!
 //! * every node listens on a TCP address and dials every peer (full mesh);
 //! * a connection is an **authenticated channel**: the 2-byte hello frame
@@ -11,7 +12,7 @@
 //!   — the paper's channel model, with no signatures anywhere;
 //! * messages travel as length-prefixed frames ([`tetrabft_wire::frame`])
 //!   of the hand-rolled wire encoding;
-//! * protocol ticks map to milliseconds (a [`tetrabft::Params`] built with
+//! * protocol ticks map to milliseconds (a `tetrabft::Params` built with
 //!   `Params::new(50)` means Δ = 50 ms).
 //!
 //! # Examples
@@ -23,13 +24,12 @@
 //! use tetrabft_net::Cluster;
 //! use tetrabft_types::{Config, Value};
 //!
-//! # #[tokio::main(flavor = "current_thread")] async fn main() -> std::io::Result<()> {
+//! # fn main() -> std::io::Result<()> {
 //! let cfg = Config::new(4).unwrap();
 //! let mut cluster =
-//!     Cluster::spawn(4, |id| TetraNode::new(cfg, Params::new(200), id, Value::from_u64(7)))
-//!         .await?;
+//!     Cluster::spawn(4, |id| TetraNode::new(cfg, Params::new(200), id, Value::from_u64(7)))?;
 //! for _ in 0..4 {
-//!     let (node, decided) = cluster.next_output().await.unwrap();
+//!     let (node, decided) = cluster.next_output().unwrap();
 //!     println!("{node} decided {decided}");
 //! }
 //! # Ok(()) }

@@ -1,15 +1,14 @@
 //! Drives one protocol state machine over real sockets and timers.
 
-use std::collections::HashMap;
-use std::io;
-use std::net::SocketAddr;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
-
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::mpsc;
-use tokio::task::JoinHandle;
+use std::thread;
+use std::time::{Duration, Instant};
 
 use tetrabft_sim::{Action, Context, Dest, Input, Node, Time, TimerId};
 use tetrabft_types::NodeId;
@@ -22,22 +21,28 @@ enum Event<M> {
     Timer { id: TimerId, generation: u64 },
 }
 
-/// Handle to a running node task.
+/// An armed timer handed to the node's shared timer thread.
+type Arming = (Instant, u64, TimerId);
+
+/// Handle to a running node.
+///
+/// The node's event loop stops when the handle is aborted or dropped; its
+/// I/O threads unwind as their sockets and channels close.
 #[derive(Debug)]
 pub struct NodeHandle {
-    task: JoinHandle<()>,
+    stop: Arc<AtomicBool>,
 }
 
 impl NodeHandle {
     /// Stops the node.
     pub fn abort(&self) {
-        self.task.abort();
+        self.stop.store(true, Ordering::Relaxed);
     }
 }
 
 impl Drop for NodeHandle {
     fn drop(&mut self) {
-        self.task.abort();
+        self.abort();
     }
 }
 
@@ -48,14 +53,14 @@ impl Drop for NodeHandle {
 ///
 /// # Errors
 ///
-/// Returns an error if the listener cannot accept; dialing retries forever
-/// (peers may start in any order).
-pub async fn run_node<N>(
+/// Returns an error if the listener cannot be inspected; dialing retries
+/// forever (peers may start in any order).
+pub fn run_node<N>(
     mut node: N,
     me: NodeId,
     listener: TcpListener,
     peers: Vec<SocketAddr>,
-    outputs: mpsc::UnboundedSender<(NodeId, N::Output)>,
+    outputs: mpsc::Sender<(NodeId, N::Output)>,
 ) -> io::Result<NodeHandle>
 where
     N: Node + Send + 'static,
@@ -63,37 +68,58 @@ where
     N::Output: Send + 'static,
 {
     let n = peers.len();
-    let (event_tx, mut event_rx) = mpsc::unbounded_channel::<Event<N::Msg>>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let (event_tx, event_rx) = mpsc::channel::<Event<N::Msg>>();
 
     // Accept loop: each inbound connection announces its sender id in a
     // 2-byte hello, then streams frames. The connection *is* the
-    // authenticated channel.
+    // authenticated channel. Non-blocking accept so the thread (and the
+    // bound socket) actually go away when the node is stopped.
+    listener.set_nonblocking(true)?;
     let accept_tx = event_tx.clone();
-    tokio::spawn(async move {
-        loop {
-            let Ok((stream, _)) = listener.accept().await else { return };
-            let tx = accept_tx.clone();
-            tokio::spawn(async move {
-                let _ = read_peer(stream, tx).await;
-            });
+    let accept_stop = Arc::clone(&stop);
+    thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let tx = accept_tx.clone();
+                thread::spawn(move || {
+                    let _ = read_peer(stream, tx);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if accept_stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => return,
         }
     });
 
-    // Writer tasks: one per peer, fed bytes through a channel; dialing
+    // One timer thread per node: armings arrive over a channel, fire from a
+    // deadline heap. Exits as soon as the event loop drops its sender.
+    let (timer_tx, timer_rx) = mpsc::channel::<Arming>();
+    let timer_events = event_tx.clone();
+    thread::spawn(move || run_timers(timer_rx, timer_events));
+
+    // Writer threads: one per peer, fed frames through a channel; dialing
     // retries until the peer is up.
-    let mut writers: HashMap<NodeId, mpsc::UnboundedSender<Arc<Vec<u8>>>> = HashMap::new();
+    let mut writers: HashMap<NodeId, mpsc::Sender<Arc<Vec<u8>>>> = HashMap::new();
     for (i, addr) in peers.iter().enumerate() {
         let peer = NodeId(i as u16);
         if peer == me {
             continue;
         }
-        let (tx, rx) = mpsc::unbounded_channel::<Arc<Vec<u8>>>();
+        let (tx, rx) = mpsc::channel::<Arc<Vec<u8>>>();
         writers.insert(peer, tx);
-        tokio::spawn(write_peer(me, *addr, rx));
+        let addr = *addr;
+        thread::spawn(move || write_peer(me, addr, rx));
     }
 
-    let task = tokio::spawn(async move {
-        let start = tokio::time::Instant::now();
+    let loop_stop = Arc::clone(&stop);
+    thread::spawn(move || {
+        let start = Instant::now();
         let mut generations: HashMap<TimerId, u64> = HashMap::new();
 
         // Boot the state machine.
@@ -103,9 +129,14 @@ where
             let mut ctx = Context::buffered(me, n, now, &mut actions);
             node.handle(Input::Start, &mut ctx);
         }
-        apply_actions::<N>(actions, me, &writers, &event_tx, &outputs, &mut generations);
+        apply_actions::<N>(actions, me, &writers, &event_tx, &timer_tx, &outputs, &mut generations);
 
-        while let Some(event) = event_rx.recv().await {
+        while !loop_stop.load(Ordering::Relaxed) {
+            let event = match event_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(event) => event,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            };
             let input = match event {
                 Event::Deliver { from, msg } => Input::Deliver { from, msg },
                 Event::Timer { id, generation } => {
@@ -121,19 +152,28 @@ where
                 let mut ctx = Context::buffered(me, n, now, &mut actions);
                 node.handle(input, &mut ctx);
             }
-            apply_actions::<N>(actions, me, &writers, &event_tx, &outputs, &mut generations);
+            apply_actions::<N>(
+                actions,
+                me,
+                &writers,
+                &event_tx,
+                &timer_tx,
+                &outputs,
+                &mut generations,
+            );
         }
     });
 
-    Ok(NodeHandle { task })
+    Ok(NodeHandle { stop })
 }
 
 fn apply_actions<N>(
     actions: Vec<Action<N::Msg, N::Output>>,
     me: NodeId,
-    writers: &HashMap<NodeId, mpsc::UnboundedSender<Arc<Vec<u8>>>>,
-    events: &mpsc::UnboundedSender<Event<N::Msg>>,
-    outputs: &mpsc::UnboundedSender<(NodeId, N::Output)>,
+    writers: &HashMap<NodeId, mpsc::Sender<Arc<Vec<u8>>>>,
+    events: &mpsc::Sender<Event<N::Msg>>,
+    timers: &mpsc::Sender<Arming>,
+    outputs: &mpsc::Sender<(NodeId, N::Output)>,
     generations: &mut HashMap<TimerId, u64>,
 ) where
     N: Node,
@@ -146,7 +186,7 @@ fn apply_actions<N>(
                 match dest {
                     Dest::All => {
                         for tx in writers.values() {
-                            let _ = tx.send(bytes.clone());
+                            let _ = tx.send(Arc::clone(&bytes));
                         }
                         // Loopback, like the simulator: instantaneous.
                         let _ = events.send(Event::Deliver { from: me, msg });
@@ -164,12 +204,8 @@ fn apply_actions<N>(
             Action::SetTimer { id, after } => {
                 let generation = generations.entry(id).or_insert(0);
                 *generation += 1;
-                let generation = *generation;
-                let events = events.clone();
-                tokio::spawn(async move {
-                    tokio::time::sleep(Duration::from_millis(after)).await;
-                    let _ = events.send(Event::Timer { id, generation });
-                });
+                let due = Instant::now() + Duration::from_millis(after);
+                let _ = timers.send((due, *generation, id));
             }
             Action::CancelTimer { id } => {
                 *generations.entry(id).or_insert(0) += 1;
@@ -181,22 +217,45 @@ fn apply_actions<N>(
     }
 }
 
-async fn read_peer<M: Wire>(
-    mut stream: TcpStream,
-    events: mpsc::UnboundedSender<Event<M>>,
-) -> io::Result<()> {
-    let from = NodeId(stream.read_u16().await?);
+/// The per-node timer thread: keeps armings in a deadline heap and turns
+/// them into [`Event::Timer`]s when due. Stale generations are filtered by
+/// the event loop, so superseded armings may fire here harmlessly.
+fn run_timers<M>(rx: mpsc::Receiver<Arming>, events: mpsc::Sender<Event<M>>) {
+    let mut heap: BinaryHeap<Reverse<Arming>> = BinaryHeap::new();
+    loop {
+        let wait = match heap.peek() {
+            Some(Reverse((due, _, _))) => due.saturating_duration_since(Instant::now()),
+            None => Duration::from_secs(3600),
+        };
+        match rx.recv_timeout(wait) {
+            Ok(arming) => heap.push(Reverse(arming)),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse((due, _, _))| *due <= now) {
+            let Reverse((_, generation, id)) = heap.pop().expect("peeked entry exists");
+            if events.send(Event::Timer { id, generation }).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn read_peer<M: Wire>(mut stream: TcpStream, events: mpsc::Sender<Event<M>>) -> io::Result<()> {
+    let mut hello = [0u8; 2];
+    stream.read_exact(&mut hello)?;
+    let from = NodeId(u16::from_be_bytes(hello));
     let mut decoder = FrameDecoder::new();
     let mut buf = vec![0u8; 64 * 1024];
     loop {
-        let read = stream.read(&mut buf).await?;
+        let read = stream.read(&mut buf)?;
         if read == 0 {
             return Ok(());
         }
         decoder.extend(&buf[..read]);
-        while let Some(frame) = decoder
-            .next_frame()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        while let Some(frame) =
+            decoder.next_frame().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
         {
             match M::from_bytes(&frame) {
                 Ok(msg) => {
@@ -213,23 +272,20 @@ async fn read_peer<M: Wire>(
     }
 }
 
-async fn write_peer(
-    me: NodeId,
-    addr: SocketAddr,
-    mut rx: mpsc::UnboundedReceiver<Arc<Vec<u8>>>,
-) {
+fn write_peer(me: NodeId, addr: SocketAddr, rx: mpsc::Receiver<Arc<Vec<u8>>>) {
     // Dial with retry: peers boot in arbitrary order.
     let mut stream = loop {
-        match TcpStream::connect(addr).await {
+        match TcpStream::connect(addr) {
             Ok(s) => break s,
-            Err(_) => tokio::time::sleep(Duration::from_millis(20)).await,
+            Err(_) => thread::sleep(Duration::from_millis(20)),
         }
     };
-    if stream.write_u16(me.0).await.is_err() {
+    let _ = stream.set_nodelay(true);
+    if stream.write_all(&me.0.to_be_bytes()).is_err() {
         return;
     }
-    while let Some(bytes) = rx.recv().await {
-        if stream.write_all(&bytes).await.is_err() {
+    while let Ok(bytes) = rx.recv() {
+        if stream.write_all(&bytes).is_err() {
             return;
         }
     }

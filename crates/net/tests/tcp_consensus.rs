@@ -1,61 +1,49 @@
 //! End-to-end tests over real TCP sockets: the same state machines the
 //! simulator verifies must decide on a live localhost cluster.
 
+use std::time::Duration;
+
 use tetrabft::{Params, TetraNode};
 use tetrabft_multishot::MultiShotNode;
 use tetrabft_net::Cluster;
 use tetrabft_types::{Config, Value};
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn four_node_tcp_cluster_decides() {
+#[test]
+fn four_node_tcp_cluster_decides() {
     let cfg = Config::new(4).unwrap();
     let mut cluster = Cluster::spawn(4, |id| {
         TetraNode::new(cfg, Params::new(500), id, Value::from_u64(id.0 as u64 + 1))
     })
-    .await
     .expect("cluster spawns");
 
     let mut decisions = Vec::new();
     for _ in 0..4 {
-        let deadline = tokio::time::timeout(
-            std::time::Duration::from_secs(30),
-            cluster.next_output(),
-        );
-        let (node, value) = deadline.await.expect("decide within 30s").expect("output");
+        let (node, value) =
+            cluster.next_output_timeout(Duration::from_secs(30)).expect("decide within 30s");
         decisions.push((node, value));
     }
     let first = decisions[0].1;
-    assert!(
-        decisions.iter().all(|(_, v)| *v == first),
-        "agreement over TCP: {decisions:?}"
-    );
+    assert!(decisions.iter().all(|(_, v)| *v == first), "agreement over TCP: {decisions:?}");
     // Round-robin leader of view 0 is node 0, whose input is 1.
     assert_eq!(first, Value::from_u64(1));
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn multishot_tcp_cluster_finalizes_blocks() {
+#[test]
+fn multishot_tcp_cluster_finalizes_blocks() {
     let cfg = Config::new(4).unwrap();
     let mut cluster = Cluster::spawn(4, |id| {
         let mut node = MultiShotNode::new(cfg, Params::new(500), id);
         node.submit_tx(format!("tx-from-{id}").into_bytes());
         node
     })
-    .await
     .expect("cluster spawns");
 
     // Collect until every node reports its first three finalized slots.
     let mut per_node: std::collections::HashMap<u16, Vec<(u64, u64)>> = Default::default();
     while per_node.len() < 4 || per_node.values().any(|c| c.len() < 3) {
-        let deadline = tokio::time::timeout(
-            std::time::Duration::from_secs(30),
-            cluster.next_output(),
-        );
-        let (node, fin) = deadline.await.expect("finalize within 30s").expect("output");
-        per_node
-            .entry(node.0)
-            .or_default()
-            .push((fin.slot.0, fin.hash.0));
+        let (node, fin) =
+            cluster.next_output_timeout(Duration::from_secs(30)).expect("finalize within 30s");
+        per_node.entry(node.0).or_default().push((fin.slot.0, fin.hash.0));
     }
     // Chains must agree on the common prefix.
     let reference = per_node[&0].clone();

@@ -53,7 +53,7 @@ pub enum Input<M> {
 /// A deterministic protocol state machine.
 ///
 /// Implementations must be pure: all effects go through the [`Context`].
-/// The same state machine is driven by the simulator, by the tokio runtime
+/// The same state machine is driven by the simulator, by the TCP runtime
 /// in `tetrabft-net`, and by schedule exploration in tests.
 pub trait Node {
     /// Message type exchanged with peers.
@@ -67,7 +67,7 @@ pub trait Node {
 
 /// An effect a node asked its environment to perform.
 ///
-/// The simulator interprets these internally; embedders (the tokio runtime
+/// The simulator interprets these internally; embedders (the TCP runtime
 /// in `tetrabft-net`, protocol wrappers like the repeated-single-shot
 /// baseline) obtain them via [`Context::buffered`].
 #[derive(Debug)]

@@ -33,19 +33,9 @@ pub enum Route {
 type ScriptFn = Box<dyn FnMut(RouteEnv, &mut StdRng) -> Route + Send>;
 
 enum PolicyKind {
-    Synchronous {
-        delay: u64,
-    },
-    PartialSynchrony {
-        gst: Time,
-        delta: u64,
-        actual: u64,
-        drop_before_gst: bool,
-    },
-    Jittered {
-        min: u64,
-        max: u64,
-    },
+    Synchronous { delay: u64 },
+    PartialSynchrony { gst: Time, delta: u64, actual: u64, drop_before_gst: bool },
+    Jittered { min: u64, max: u64 },
     Scripted(ScriptFn),
 }
 

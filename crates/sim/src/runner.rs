@@ -120,7 +120,9 @@ pub struct Sim<M, O> {
     queue: EventQueue<M>,
     now: Time,
     // Timer generations: SetTimer bumps the generation; a firing event with
-    // a stale generation is ignored. This implements replace/cancel.
+    // a stale generation is ignored. This implements replace/cancel. Entries
+    // are never removed — generations must stay monotone for the whole run,
+    // or a re-armed timer could resurrect an orphaned queued firing.
     timer_gen: Vec<std::collections::HashMap<TimerId, u64>>,
     outputs: Vec<OutputRecord<O>>,
     metrics: Metrics,
@@ -189,9 +191,10 @@ impl<M: WireSize + Clone, O> Sim<M, O> {
                 self.dispatch(to, Input::Deliver { from, msg });
             }
             EventKind::Timer { node, id, generation } => {
+                // Only the newest arming fires; at most one queued event can
+                // carry the current generation, so no removal is needed.
                 let live = self.timer_gen[node.index()].get(&id) == Some(&generation);
                 if live {
-                    self.timer_gen[node.index()].remove(&id);
                     self.dispatch(node, Input::Timer { id });
                 }
             }
@@ -240,8 +243,7 @@ impl<M: WireSize + Clone, O> Sim<M, O> {
         self.metrics.events_processed += 1;
         let mut effects = Vec::new();
         {
-            let mut ctx =
-                Context { me: id, n: self.n, now: self.now, effects: &mut effects };
+            let mut ctx = Context { me: id, n: self.n, now: self.now, effects: &mut effects };
             self.nodes[id.index()].handle(input, &mut ctx);
         }
         for effect in effects {
@@ -268,10 +270,7 @@ impl<M: WireSize + Clone, O> Sim<M, O> {
             }
             Action::CancelTimer { id: timer } => {
                 // Bumping the generation orphans any queued firing.
-                self.timer_gen[id.index()]
-                    .entry(timer)
-                    .and_modify(|g| *g += 1);
-                self.timer_gen[id.index()].remove(&timer);
+                *self.timer_gen[id.index()].entry(timer).or_insert(0) += 1;
             }
             Action::Output(output) => {
                 self.outputs.push(OutputRecord { node: id, time: self.now, output });
@@ -376,6 +375,30 @@ mod tests {
     }
 
     #[test]
+    fn rearming_after_a_fire_cannot_resurrect_an_orphaned_event() {
+        // Arm (gen 1, due t=100), replace (gen 2, due t=10), fire at t=10,
+        // re-arm from the handler. The orphaned gen-1 event still queued for
+        // t=100 must stay dead; only the re-armed timer (t=110) may fire.
+        let mut sim = SimBuilder::new(1).build(|_| {
+            FnNode::<Msg, u64, _>::new(|input, ctx| match input {
+                Input::Start => {
+                    ctx.set_timer(TimerId(7), 100);
+                    ctx.set_timer(TimerId(7), 10);
+                }
+                Input::Timer { .. } if ctx.now() == Time(10) => {
+                    ctx.output(ctx.now().0);
+                    ctx.set_timer(TimerId(7), 100);
+                }
+                Input::Timer { .. } => ctx.output(ctx.now().0),
+                _ => {}
+            })
+        });
+        sim.run_until_quiet(100);
+        let times: Vec<u64> = sim.outputs().iter().map(|o| o.output).collect();
+        assert_eq!(times, vec![10, 110], "orphaned t=100 firing must not resurrect");
+    }
+
+    #[test]
     fn cancelled_timer_never_fires() {
         let mut sim = SimBuilder::new(1).build(|_| {
             FnNode::<Msg, (), _>::new(|input, ctx| match input {
@@ -412,9 +435,8 @@ mod tests {
 
     #[test]
     fn drops_are_counted() {
-        let mut sim = SimBuilder::new(2)
-            .policy(LinkPolicy::partial_synchrony(Time(100), 5, 1))
-            .build(|id| {
+        let mut sim =
+            SimBuilder::new(2).policy(LinkPolicy::partial_synchrony(Time(100), 5, 1)).build(|id| {
                 FnNode::<Msg, (), _>::new(move |input, ctx| {
                     if matches!(input, Input::Start) && id == NodeId(0) {
                         ctx.send(NodeId(1), Msg(1));
@@ -428,10 +450,8 @@ mod tests {
     #[test]
     fn identical_seeds_identical_runs() {
         let run = |seed| {
-            let mut sim = SimBuilder::new(3)
-                .seed(seed)
-                .policy(LinkPolicy::jittered(1, 7))
-                .build(|id| {
+            let mut sim =
+                SimBuilder::new(3).seed(seed).policy(LinkPolicy::jittered(1, 7)).build(|id| {
                     FnNode::<Msg, (NodeId, u64), _>::new(move |input, ctx| match input {
                         Input::Start if id == NodeId(0) => ctx.broadcast(Msg(0)),
                         Input::Deliver { msg: Msg(k), .. } if k < 3 => ctx.broadcast(Msg(k + 1)),

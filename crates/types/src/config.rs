@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{NodeId, View};
 
 /// Errors produced when constructing a [`Config`].
@@ -52,7 +50,7 @@ impl std::error::Error for ConfigError {}
 /// assert_eq!(cfg.leader_of(View(8)), NodeId(1));
 /// # Ok::<(), tetrabft_types::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Config {
     n: usize,
     f: usize,
@@ -153,10 +151,7 @@ mod tests {
     #[test]
     fn explicit_fault_budget_validation() {
         assert!(Config::with_faults(4, 1).is_ok());
-        assert_eq!(
-            Config::with_faults(3, 1),
-            Err(ConfigError::TooManyFaults { n: 3, f: 1 })
-        );
+        assert_eq!(Config::with_faults(3, 1), Err(ConfigError::TooManyFaults { n: 3, f: 1 }));
         assert_eq!(Config::with_faults(0, 0), Err(ConfigError::NoNodes));
         assert_eq!(Config::new(0), Err(ConfigError::NoNodes));
     }
@@ -168,10 +163,7 @@ mod tests {
         for n in 1..50 {
             let cfg = Config::new(n).unwrap();
             let overlap = 2 * cfg.quorum() as isize - n as isize;
-            assert!(
-                overlap > cfg.f() as isize,
-                "quorum intersection must exceed f (n={n})"
-            );
+            assert!(overlap > cfg.f() as isize, "quorum intersection must exceed f (n={n})");
         }
     }
 

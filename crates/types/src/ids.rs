@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identity of a node in the system.
 ///
 /// Nodes are numbered `0..n`. The type is a transparent newtype so it can be
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(id.index(), 3);
 /// assert_eq!(id.to_string(), "n3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -52,9 +50,7 @@ impl From<u16> for NodeId {
 /// assert_eq!(View::ZERO.next(), View(1));
 /// assert!(View(2) > View(1));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct View(pub u64);
 
 impl View {
@@ -104,9 +100,7 @@ impl From<u64> for View {
 /// assert_eq!(Slot::GENESIS.next(), Slot(1));
 /// assert_eq!(Slot(4).prev(), Some(Slot(3)));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Slot(pub u64);
 
 impl Slot {

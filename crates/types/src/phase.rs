@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A TetraBFT vote phase: `vote-1` through `vote-4`.
 ///
 /// The protocol name comes from these four phases (Section 1.1). The type
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(Phase::VOTE4.next(), None);
 /// assert_eq!(Phase::VOTE3.as_u8(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Phase(u8);
 
 impl Phase {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An opaque 8-byte value the protocol agrees on.
 ///
 /// In single-shot consensus this is the proposed value itself; in multi-shot
@@ -19,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.as_u64(), 42);
 /// assert_ne!(v, Value::from_u64(7));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Value(pub [u8; 8]);
 
 impl Value {

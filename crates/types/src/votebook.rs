@@ -1,7 +1,5 @@
 //! The constant-size persistent vote storage of Section 3.1.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Phase, Value, View};
 
 /// A recorded vote: the view it was cast in and the value it carried.
@@ -13,7 +11,7 @@ use crate::{Phase, Value, View};
 /// let vote = VoteInfo { view: View(3), value: Value::from_u64(9) };
 /// assert_eq!(vote.view, View(3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VoteInfo {
     /// View the vote was cast in.
     pub view: View,
@@ -54,7 +52,7 @@ impl VoteInfo {
 /// assert_eq!((h.view, h.value.as_u64()), (View(4), 9));
 /// assert_eq!((p.view, p.value.as_u64()), (View(1), 7));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VoteBook {
     highest: [Option<VoteInfo>; 4],
     // Second-highest with a different value; tracked for vote-1 and vote-2
@@ -123,22 +121,14 @@ impl VoteBook {
     /// second-highest different-valued `vote-2`, and the highest `vote-3`.
     #[inline]
     pub fn suggest_fields(&self) -> (Option<VoteInfo>, Option<VoteInfo>, Option<VoteInfo>) {
-        (
-            self.highest(Phase::VOTE2),
-            self.prev(Phase::VOTE2),
-            self.highest(Phase::VOTE3),
-        )
+        (self.highest(Phase::VOTE2), self.prev(Phase::VOTE2), self.highest(Phase::VOTE3))
     }
 
     /// Fields a `proof` message carries: the highest `vote-1`, the
     /// second-highest different-valued `vote-1`, and the highest `vote-4`.
     #[inline]
     pub fn proof_fields(&self) -> (Option<VoteInfo>, Option<VoteInfo>, Option<VoteInfo>) {
-        (
-            self.highest(Phase::VOTE1),
-            self.prev(Phase::VOTE1),
-            self.highest(Phase::VOTE4),
-        )
+        (self.highest(Phase::VOTE1), self.prev(Phase::VOTE1), self.highest(Phase::VOTE4))
     }
 
     /// Size in bytes of the persistent state, used by the storage

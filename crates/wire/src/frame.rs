@@ -1,4 +1,4 @@
-//! Length-prefixed stream framing for the tokio transport.
+//! Length-prefixed stream framing for the TCP transport.
 //!
 //! Each frame is a big-endian `u32` payload length followed by the payload.
 //! [`FrameDecoder`] is an incremental decoder suitable for feeding arbitrary
@@ -17,8 +17,6 @@
 //! assert_eq!(dec.next_frame()?.as_deref(), Some(&b"hello"[..]));
 //! # Ok::<(), tetrabft_wire::WireError>(())
 //! ```
-
-use bytes::{Buf, BytesMut};
 
 use crate::WireError;
 
@@ -40,9 +38,14 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
 }
 
 /// Incremental decoder for length-prefixed frames.
+///
+/// Consumed bytes are tracked by a cursor and reclaimed lazily, so feeding
+/// and draining a long stream stays amortized O(1) per byte.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
+    /// Index of the first unconsumed byte in `buf`.
+    start: usize,
 }
 
 impl FrameDecoder {
@@ -53,7 +56,20 @@ impl FrameDecoder {
 
     /// Appends bytes received from the stream.
     pub fn extend(&mut self, chunk: &[u8]) {
+        self.compact();
         self.buf.extend_from_slice(chunk);
+    }
+
+    /// Drops already-consumed bytes once they dominate the buffer.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.start..]
     }
 
     /// Attempts to extract the next complete frame payload.
@@ -65,25 +81,26 @@ impl FrameDecoder {
     /// [`WireError::LengthOverflow`] when a frame declares a payload larger
     /// than [`MAX_FRAME_LEN`]; the stream should then be torn down.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
-        if self.buf.len() < 4 {
+        let pending = self.pending();
+        if pending.len() < 4 {
             return Ok(None);
         }
-        let declared = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-            as usize;
+        let declared =
+            u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
         if declared > MAX_FRAME_LEN {
             return Err(WireError::LengthOverflow { declared, limit: MAX_FRAME_LEN });
         }
-        if self.buf.len() < 4 + declared {
+        if pending.len() < 4 + declared {
             return Ok(None);
         }
-        self.buf.advance(4);
-        let payload = self.buf.split_to(declared);
-        Ok(Some(payload.to_vec()))
+        let payload = pending[4..4 + declared].to_vec();
+        self.start += 4 + declared;
+        Ok(Some(payload))
     }
 
     /// Number of buffered, not-yet-decoded bytes.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.start
     }
 }
 

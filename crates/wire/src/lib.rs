@@ -11,7 +11,7 @@
 //! The [`Wire`] trait is implemented here for primitives and for the kernel
 //! types of [`tetrabft_types`]; protocol crates implement it for their
 //! message enums. [`frame`] provides the length-prefixed stream framing used
-//! by the tokio transport.
+//! by the TCP transport.
 //!
 //! # Examples
 //!

@@ -205,22 +205,13 @@ mod tests {
 
     #[test]
     fn bad_bool_tag() {
-        assert_eq!(
-            bool::from_bytes(&[7]),
-            Err(WireError::InvalidTag { what: "bool", tag: 7 })
-        );
+        assert_eq!(bool::from_bytes(&[7]), Err(WireError::InvalidTag { what: "bool", tag: 7 }));
     }
 
     #[test]
     fn bad_phase_tag() {
-        assert_eq!(
-            Phase::from_bytes(&[0]),
-            Err(WireError::InvalidTag { what: "Phase", tag: 0 })
-        );
-        assert_eq!(
-            Phase::from_bytes(&[5]),
-            Err(WireError::InvalidTag { what: "Phase", tag: 5 })
-        );
+        assert_eq!(Phase::from_bytes(&[0]), Err(WireError::InvalidTag { what: "Phase", tag: 0 }));
+        assert_eq!(Phase::from_bytes(&[5]), Err(WireError::InvalidTag { what: "Phase", tag: 5 }));
     }
 
     #[test]

@@ -125,10 +125,7 @@ mod tests {
     #[test]
     fn eof_is_an_error_not_a_panic() {
         let mut r = Reader::new(&[1]);
-        assert_eq!(
-            r.get_u32(),
-            Err(WireError::UnexpectedEof { needed: 4, available: 1 })
-        );
+        assert_eq!(r.get_u32(), Err(WireError::UnexpectedEof { needed: 4, available: 1 }));
         // Failed reads do not consume input.
         assert_eq!(r.get_u8().unwrap(), 1);
     }

@@ -33,20 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.run_until(Time(400));
 
     // Reconstruct node 0's chain.
-    let chain: Vec<&Finalized> = sim
-        .outputs()
-        .iter()
-        .filter(|o| o.node == NodeId(0))
-        .map(|o| &o.output)
-        .collect();
+    let chain: Vec<&Finalized> =
+        sim.outputs().iter().filter(|o| o.node == NodeId(0)).map(|o| &o.output).collect();
     println!("node 0 finalized {} blocks:", chain.len());
     for fin in chain.iter().take(8) {
-        println!(
-            "  slot {:>2}  {}  {} txs",
-            fin.slot.0,
-            fin.hash,
-            fin.block.txs.len()
-        );
+        println!("  slot {:>2}  {}  {} txs", fin.slot.0, fin.hash, fin.block.txs.len());
     }
     if chain.len() > 8 {
         println!("  … and {} more", chain.len() - 8);

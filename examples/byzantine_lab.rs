@@ -19,10 +19,8 @@ fn run_attack(
     let mut agreed = 0;
     let mut runs = 0;
     for seed in 0..10 {
-        let mut sim = SimBuilder::new(4)
-            .seed(seed)
-            .policy(LinkPolicy::jittered(1, 4))
-            .build_boxed(|id| {
+        let mut sim =
+            SimBuilder::new(4).seed(seed).policy(LinkPolicy::jittered(1, 4)).build_boxed(|id| {
                 if id == NodeId(0) {
                     make_byz(cfg)
                 } else {
@@ -55,9 +53,7 @@ fn main() {
         Box::new(EquivocatingLeader::new(cfg, Value::from_u64(1), Value::from_u64(2)))
     });
     run_attack("vote amplifier", |_| Box::new(VoteAmplifier::new()));
-    run_attack("lying historian", |cfg| {
-        Box::new(LyingHistorian::new(cfg, Value::from_u64(666)))
-    });
+    run_attack("lying historian", |cfg| Box::new(LyingHistorian::new(cfg, Value::from_u64(666))));
     run_attack("stale replayer", |_| Box::new(StaleReplayer));
     run_attack("late crash", |cfg| {
         Box::new(LateCrash::new(

@@ -9,18 +9,16 @@
 use tetrabft_net::Cluster;
 use tetrabft_suite::prelude::*;
 
-#[tokio::main]
-async fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = Config::new(4)?;
 
     println!("— single-shot consensus over TCP —");
     let started = std::time::Instant::now();
     let mut cluster = Cluster::spawn(4, |id| {
         TetraNode::new(cfg, Params::new(300), id, Value::from_u64(40 + u64::from(id.0)))
-    })
-    .await?;
+    })?;
     for _ in 0..4 {
-        let (node, value) = cluster.next_output().await.expect("decision");
+        let (node, value) = cluster.next_output().expect("decision");
         println!("  {node} decided {value} after {:?}", started.elapsed());
     }
     drop(cluster);
@@ -30,11 +28,10 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut node = MultiShotNode::new(cfg, Params::new(300), id);
         node.submit_tx(format!("genesis-tx-{id}").into_bytes());
         node
-    })
-    .await?;
+    })?;
     let mut finalized = 0;
     while finalized < 12 {
-        let (node, fin) = chain_cluster.next_output().await.expect("finalization");
+        let (node, fin) = chain_cluster.next_output().expect("finalization");
         if node == NodeId(0) {
             println!(
                 "  node 0 finalized slot {:>2} {} ({} txs)",

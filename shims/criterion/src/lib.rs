@@ -1,0 +1,249 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The repository builds in environments without a crates.io mirror, so this
+//! shim reimplements the benchmark API surface `crates/bench` uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and prints the per-iteration mean and
+//! min. There are no statistics, plots, or baselines — the goal is that
+//! `cargo bench` produces honest wall-clock numbers and that bench targets
+//! keep compiling against the real criterion API shape. Passing `--test`
+//! (as `cargo test --benches` does) runs every benchmark body exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    smoke_test: bool,
+    /// Mean and minimum per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.smoke_test {
+            black_box(body());
+            return;
+        }
+        // Warm-up, and a probe for how many iterations fit one sample.
+        let warmup = Instant::now();
+        let mut probe_iters: u32 = 0;
+        while warmup.elapsed() < Duration::from_millis(50) {
+            black_box(body());
+            probe_iters += 1;
+            if probe_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup.elapsed() / probe_iters.max(1);
+        // Aim for samples of ~2ms, bounded so slow bodies still finish.
+        let iters_per_sample =
+            (Duration::from_millis(2).as_nanos() / per_iter.as_nanos().max(1)) as u32;
+        let iters_per_sample = iters_per_sample.clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let budget = Instant::now();
+        let mut taken = 0usize;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            let sample = start.elapsed() / iters_per_sample;
+            total += sample;
+            min = min.min(sample);
+            taken += 1;
+            if budget.elapsed() > Duration::from_secs(5) {
+                break; // keep slow benches bounded
+            }
+        }
+        self.result = Some((total / taken.max(1) as u32, min));
+    }
+}
+
+fn run_one(name: &str, samples: usize, smoke_test: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples, smoke_test, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min)) => println!("{name:<40} mean {mean:>12.2?}   min {min:>12.2?}"),
+        None if smoke_test => println!("{name:<40} ok (smoke test)"),
+        None => println!("{name:<40} (no measurement taken)"),
+    }
+}
+
+/// Throughput annotation (accepted and ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 20, smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility; this shim
+    /// bounds each benchmark internally instead).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, self.smoke_test, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, sample_size: None }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Accepts a throughput annotation (ignored).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&format!("  {}", id.id), samples, self.criterion.smoke_test, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `name` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&format!("  {name}"), samples, self.criterion.smoke_test, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion { sample_size: 3, smoke_test: false };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { sample_size: 2, smoke_test: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(4));
+        group
+            .bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| b.iter(|| black_box(n * 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

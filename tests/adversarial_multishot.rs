@@ -4,9 +4,7 @@
 
 use tetrabft::Params;
 use tetrabft_multishot::{Block, Finalized, MsMessage, MultiShotNode};
-use tetrabft_sim::{
-    Context, Input, LinkPolicy, Node, Route, RouteEnv, Sim, SimBuilder, Time,
-};
+use tetrabft_sim::{Context, Input, LinkPolicy, Node, Route, RouteEnv, Sim, SimBuilder, Time};
 use tetrabft_types::{Config, NodeId, Slot, View};
 
 fn assert_no_fork(sim: &Sim<MsMessage, Finalized>, honest: &[u16]) {
@@ -52,8 +50,7 @@ impl Node for EquivocatingProducer {
         }
         if let MsMessage::Proposal { view, block } = msg {
             let next = Slot(block.slot.0 + 1);
-            if MultiShotNode::leader_of(&self.cfg, next, View(0)) != self.me || !view.is_zero()
-            {
+            if MultiShotNode::leader_of(&self.cfg, next, View(0)) != self.me || !view.is_zero() {
                 return;
             }
             let parent = block.hash();
@@ -71,15 +68,13 @@ impl Node for EquivocatingProducer {
 #[test]
 fn equivocating_block_producer_cannot_fork_the_chain() {
     let cfg = Config::new(4).unwrap();
-    let mut sim = SimBuilder::new(4)
-        .policy(LinkPolicy::synchronous(1))
-        .build_boxed(|id| {
-            if id == NodeId(1) {
-                Box::new(EquivocatingProducer { cfg, me: id })
-            } else {
-                Box::new(MultiShotNode::new(cfg, Params::new(5), id))
-            }
-        });
+    let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(|id| {
+        if id == NodeId(1) {
+            Box::new(EquivocatingProducer { cfg, me: id })
+        } else {
+            Box::new(MultiShotNode::new(cfg, Params::new(5), id))
+        }
+    });
     sim.run_until(Time(600));
     assert_no_fork(&sim, &[0, 2, 3]);
     let tip = sim
@@ -128,15 +123,13 @@ impl Node for VoteWithholder {
 #[test]
 fn vote_withholding_slows_but_does_not_stop_the_chain() {
     let cfg = Config::new(4).unwrap();
-    let mut sim = SimBuilder::new(4)
-        .policy(LinkPolicy::synchronous(1))
-        .build_boxed(|id| {
-            if id == NodeId(3) {
-                Box::new(VoteWithholder { inner: MultiShotNode::new(cfg, Params::new(5), id) })
-            } else {
-                Box::new(MultiShotNode::new(cfg, Params::new(5), id))
-            }
-        });
+    let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(|id| {
+        if id == NodeId(3) {
+            Box::new(VoteWithholder { inner: MultiShotNode::new(cfg, Params::new(5), id) })
+        } else {
+            Box::new(MultiShotNode::new(cfg, Params::new(5), id))
+        }
+    });
     sim.run_until(Time(600));
     assert_no_fork(&sim, &[0, 1, 2]);
     let tip = sim
@@ -168,10 +161,7 @@ fn partition_heals_without_forking() {
         .policy(LinkPolicy::scripted(partition))
         .build(|id| MultiShotNode::new(cfg, Params::new(10), id));
     sim.run_until(Time(190));
-    assert!(
-        sim.outputs().is_empty(),
-        "no side of a 2/2 partition may finalize anything"
-    );
+    assert!(sim.outputs().is_empty(), "no side of a 2/2 partition may finalize anything");
     sim.run_until(Time(1_200));
     assert_no_fork(&sim, &[0, 1, 2, 3]);
     assert!(
@@ -212,8 +202,5 @@ fn deaf_node_never_forks_and_never_blocks_the_others() {
     // The deaf node still *leads* every 4th slot and cannot propose blocks
     // it never saw, so the pipeline pays one 9Δ recovery round per lap of
     // the rotation (≈ 4 slots / 90 ticks) — steady progress, no fork.
-    assert!(
-        tip0 >= 40,
-        "the live quorum must keep advancing through recovery rounds, tip={tip0}"
-    );
+    assert!(tip0 >= 40, "the live quorum must keep advancing through recovery rounds, tip={tip0}");
 }

@@ -62,22 +62,25 @@ fn tetra_beats_iths_by_exactly_one_delay_in_recovery_too() {
         let delta = 10;
         match proto {
             "tetra" => {
-                let mut sim = SimBuilder::new(4)
-                    .policy(LinkPolicy::synchronous(1))
-                    .build_boxed(move |id| {
+                let mut sim =
+                    SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                         if id == NodeId(0) {
                             Box::new(tetrabft_suite::sim::SilentNode::new())
                         } else {
-                            Box::new(TetraNode::new(cfg, Params::new(delta), id, Value::from_u64(1)))
+                            Box::new(TetraNode::new(
+                                cfg,
+                                Params::new(delta),
+                                id,
+                                Value::from_u64(1),
+                            ))
                         }
                     });
                 assert!(sim.run_until_outputs(3, 20_000_000));
                 sim.outputs()[0].time.0 - 9 * delta
             }
             _ => {
-                let mut sim = SimBuilder::new(4)
-                    .policy(LinkPolicy::synchronous(1))
-                    .build_boxed(move |id| {
+                let mut sim =
+                    SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                         if id == NodeId(0) {
                             Box::new(tetrabft_suite::sim::SilentNode::new())
                         } else {
@@ -118,9 +121,8 @@ fn all_protocols_agree_under_crash() {
     macro_rules! check {
         ($ctor:expr) => {{
             let cfg = Config::new(4).unwrap();
-            let mut sim = SimBuilder::new(4)
-                .policy(LinkPolicy::synchronous(1))
-                .build_boxed(move |id| {
+            let mut sim =
+                SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                     if id == NodeId(0) {
                         Box::new(tetrabft_suite::sim::SilentNode::new())
                     } else {

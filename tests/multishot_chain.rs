@@ -49,15 +49,13 @@ fn repeated_leader_crashes_never_fork() {
     // The silent node leads every 4th (slot+view); the chain stalls and
     // recovers over and over. Consistency must hold throughout.
     let cfg = Config::new(4).unwrap();
-    let mut sim = SimBuilder::new(4)
-        .policy(LinkPolicy::synchronous(1))
-        .build_boxed(|id| {
-            if id == NodeId(2) {
-                Box::new(tetrabft_suite::sim::SilentNode::new())
-            } else {
-                Box::new(MultiShotNode::new(cfg, Params::new(5), id))
-            }
-        });
+    let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(|id| {
+        if id == NodeId(2) {
+            Box::new(tetrabft_suite::sim::SilentNode::new())
+        } else {
+            Box::new(MultiShotNode::new(cfg, Params::new(5), id))
+        }
+    });
     sim.run_until(Time(1_500));
     assert_prefix_consistency(&sim, 4);
     let tip = sim
@@ -73,15 +71,13 @@ fn repeated_leader_crashes_never_fork() {
 #[test]
 fn seven_nodes_two_crashes() {
     let cfg = Config::new(7).unwrap();
-    let mut sim = SimBuilder::new(7)
-        .policy(LinkPolicy::synchronous(1))
-        .build_boxed(|id| {
-            if id.0 >= 5 {
-                Box::new(tetrabft_suite::sim::SilentNode::new())
-            } else {
-                Box::new(MultiShotNode::new(cfg, Params::new(5), id))
-            }
-        });
+    let mut sim = SimBuilder::new(7).policy(LinkPolicy::synchronous(1)).build_boxed(|id| {
+        if id.0 >= 5 {
+            Box::new(tetrabft_suite::sim::SilentNode::new())
+        } else {
+            Box::new(MultiShotNode::new(cfg, Params::new(5), id))
+        }
+    });
     sim.run_until(Time(1_000));
     assert_prefix_consistency(&sim, 7);
     assert!(!sim.outputs().is_empty());
@@ -111,13 +107,11 @@ fn liveness_every_nodes_transaction_lands() {
     let tx = b"the-universal-tx".to_vec();
     let cfg = Config::new(4).unwrap();
     let tx2 = tx.clone();
-    let mut sim = SimBuilder::new(4)
-        .policy(LinkPolicy::synchronous(1))
-        .build(move |id| {
-            let mut node = MultiShotNode::new(cfg, Params::new(1_000), id);
-            node.submit_tx(tx2.clone());
-            node
-        });
+    let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build(move |id| {
+        let mut node = MultiShotNode::new(cfg, Params::new(1_000), id);
+        node.submit_tx(tx2.clone());
+        node
+    });
     sim.run_until(Time(60));
     for i in 0..4u16 {
         let included = sim
@@ -132,22 +126,16 @@ fn liveness_every_nodes_transaction_lands() {
 #[test]
 fn blocks_carry_distinct_payloads_per_slot() {
     let cfg = Config::new(4).unwrap();
-    let mut sim = SimBuilder::new(4)
-        .policy(LinkPolicy::synchronous(1))
-        .build(move |id| {
-            let mut node = MultiShotNode::new(cfg, Params::new(1_000), id);
-            for k in 0..100 {
-                node.submit_tx(format!("{id}-{k}").into_bytes());
-            }
-            node
-        });
+    let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build(move |id| {
+        let mut node = MultiShotNode::new(cfg, Params::new(1_000), id);
+        for k in 0..100 {
+            node.submit_tx(format!("{id}-{k}").into_bytes());
+        }
+        node
+    });
     sim.run_until(Time(40));
-    let blocks: Vec<&Finalized> = sim
-        .outputs()
-        .iter()
-        .filter(|o| o.node == NodeId(0))
-        .map(|o| &o.output)
-        .collect();
+    let blocks: Vec<&Finalized> =
+        sim.outputs().iter().filter(|o| o.node == NodeId(0)).map(|o| &o.output).collect();
     assert!(blocks.len() > 10);
     // Hash chain integrity: parent pointers line up.
     for pair in blocks.windows(2) {

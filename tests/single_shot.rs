@@ -22,9 +22,8 @@ fn assert_agreement(sim: &Sim<Message, Value>) {
 fn latency_is_five_delays_for_all_system_sizes() {
     for n in [1usize, 2, 3, 4, 7, 13, 31, 52] {
         let cfg = Config::new(n).unwrap();
-        let mut sim = SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build(honest(cfg, 1_000));
+        let mut sim =
+            SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(honest(cfg, 1_000));
         assert!(sim.run_until_outputs(n, 20_000_000), "n={n}");
         let times: Vec<u64> = sim.outputs().iter().map(|o| o.time.0).collect();
         if n >= 3 {
@@ -45,9 +44,8 @@ fn f_crashes_at_every_position_still_decide() {
     let n = 7; // f = 2
     for (a, b) in [(0u16, 1u16), (0, 6), (3, 4), (5, 6)] {
         let cfg = Config::new(n).unwrap();
-        let mut sim = SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(move |id| {
+        let mut sim =
+            SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                 if id.0 == a || id.0 == b {
                     Box::new(tetrabft_suite::sim::SilentNode::new())
                 } else {
@@ -69,15 +67,13 @@ fn one_crash_over_f_means_no_progress_but_no_disagreement() {
     // n = 4, f = 1, but two nodes are down: quorums are unreachable. The
     // protocol must stall — not decide inconsistently.
     let cfg = Config::new(4).unwrap();
-    let mut sim = SimBuilder::new(4)
-        .policy(LinkPolicy::synchronous(1))
-        .build_boxed(move |id| {
-            if id.0 <= 1 {
-                Box::new(tetrabft_suite::sim::SilentNode::new())
-            } else {
-                Box::new(TetraNode::new(cfg, Params::new(5), id, Value::from_u64(9)))
-            }
-        });
+    let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
+        if id.0 <= 1 {
+            Box::new(tetrabft_suite::sim::SilentNode::new())
+        } else {
+            Box::new(TetraNode::new(cfg, Params::new(5), id, Value::from_u64(9)))
+        }
+    });
     sim.run_until(Time(2_000));
     assert!(sim.outputs().is_empty(), "no quorum ⇒ no decision (but also no split)");
 }
@@ -88,10 +84,8 @@ fn mixed_adversaries_at_the_fault_budget() {
     let n = 10;
     for seed in 0..5 {
         let cfg = Config::new(n).unwrap();
-        let mut sim = SimBuilder::new(n)
-            .seed(seed)
-            .policy(LinkPolicy::jittered(1, 5))
-            .build_boxed(move |id| match id.0 {
+        let mut sim = SimBuilder::new(n).seed(seed).policy(LinkPolicy::jittered(1, 5)).build_boxed(
+            move |id| match id.0 {
                 0 => Box::new(EquivocatingLeader::new(
                     cfg,
                     Value::from_u64(111),
@@ -105,7 +99,8 @@ fn mixed_adversaries_at_the_fault_budget() {
                     id,
                     Value::from_u64(u64::from(id.0)),
                 )),
-            });
+            },
+        );
         assert!(sim.run_until_outputs(n - 3, 50_000_000), "seed {seed}");
         assert_agreement(&sim);
     }
@@ -140,9 +135,8 @@ fn validity_holds_under_unanimity_and_any_leader() {
     // must be 77 (validity), even with a crashed node shifting leadership.
     for crash in 0u16..4 {
         let cfg = Config::new(4).unwrap();
-        let mut sim = SimBuilder::new(4)
-            .policy(LinkPolicy::synchronous(1))
-            .build_boxed(move |id| {
+        let mut sim =
+            SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build_boxed(move |id| {
                 if id.0 == crash {
                     Box::new(tetrabft_suite::sim::SilentNode::new())
                 } else {
@@ -158,9 +152,8 @@ fn validity_holds_under_unanimity_and_any_leader() {
 fn unit_delay_traffic_is_quadratic_total_linear_per_node() {
     let bytes = |n: usize| {
         let cfg = Config::new(n).unwrap();
-        let mut sim = SimBuilder::new(n)
-            .policy(LinkPolicy::synchronous(1))
-            .build(honest(cfg, 1_000));
+        let mut sim =
+            SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(honest(cfg, 1_000));
         assert!(sim.run_until_outputs(n, 50_000_000));
         (sim.metrics().total_bytes_sent() as f64, sim.metrics().max_node_bytes_sent() as f64)
     };

@@ -38,8 +38,8 @@ fn node_persistent_state_is_view_independent() {
     sim.run_until_outputs(3, 5_000_000);
     // The type makes the bound structural; this exercises the claim end to
     // end: a fresh node reports the same footprint the whole run through.
-    let after = TetraNode::new(cfg, Params::new(5), NodeId(1), Value::from_u64(1))
-        .persistent_bytes();
+    let after =
+        TetraNode::new(cfg, Params::new(5), NodeId(1), Value::from_u64(1)).persistent_bytes();
     assert_eq!(after, baseline);
 }
 

@@ -33,28 +33,27 @@ fn arb_core_message() -> impl Strategy<Value = Message> {
             view: View(v),
             value: val,
         }),
-        (any::<u64>(), arb_opt_vote(), arb_opt_vote(), arb_opt_vote()).prop_map(
-            |(v, a, b, c)| Message::Suggest {
+        (any::<u64>(), arb_opt_vote(), arb_opt_vote(), arb_opt_vote()).prop_map(|(v, a, b, c)| {
+            Message::Suggest {
                 view: View(v),
                 data: SuggestData { vote2: a, prev_vote2: b, vote3: c },
             }
-        ),
-        (any::<u64>(), arb_opt_vote(), arb_opt_vote(), arb_opt_vote()).prop_map(
-            |(v, a, b, c)| Message::Proof {
-                view: View(v),
-                data: ProofData { vote1: a, prev_vote1: b, vote4: c },
-            }
-        ),
+        }),
+        (any::<u64>(), arb_opt_vote(), arb_opt_vote(), arb_opt_vote()).prop_map(|(v, a, b, c)| {
+            Message::Proof { view: View(v), data: ProofData { vote1: a, prev_vote1: b, vote4: c } }
+        }),
         any::<u64>().prop_map(|v| Message::ViewChange { view: View(v) }),
     ]
 }
 
 fn arb_ms_message() -> impl Strategy<Value = MsMessage> {
     prop_oneof![
-        (any::<u64>(), 1u64..1000, any::<u64>(), proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..32),
-            0..8
-        ))
+        (
+            any::<u64>(),
+            1u64..1000,
+            any::<u64>(),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..8)
+        )
             .prop_map(|(v, s, parent, txs)| MsMessage::Proposal {
                 view: View(v),
                 block: Block::new(Slot(s), tetrabft_multishot::BlockHash(parent), txs),
@@ -64,10 +63,8 @@ fn arb_ms_message() -> impl Strategy<Value = MsMessage> {
             view: View(v),
             hash: tetrabft_multishot::BlockHash(h),
         }),
-        (any::<u64>(), any::<u64>()).prop_map(|(s, v)| MsMessage::ViewChange {
-            slot: Slot(s),
-            view: View(v),
-        }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(s, v)| MsMessage::ViewChange { slot: Slot(s), view: View(v) }),
     ]
 }
 
