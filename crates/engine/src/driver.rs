@@ -1,0 +1,438 @@
+//! The engine loop shared by every runtime.
+//!
+//! Both the deterministic simulator (`tetrabft-sim`) and the TCP runtime
+//! (`tetrabft-net`) used to hand-roll the same three pieces of machinery:
+//! timer generations (a re-armed timer must orphan its queued firing),
+//! [`Action`] dispatch, and the event mux that turns raw runtime events
+//! into [`Node`] inputs. [`Engine`] owns all three once; runtimes shrink
+//! to [`Transport`] implementations that only know how to move bytes,
+//! schedule wakeups, and surface outputs.
+
+use std::collections::HashMap;
+
+use tetrabft_types::NodeId;
+
+use crate::node::{Action, Context, Dest, Input, Node, TimerId};
+use crate::time::Time;
+
+/// What an [`Engine`] asks its runtime to do.
+///
+/// A transport is intentionally dumber than a [`Node`] context: it never
+/// sees cancellations (the engine absorbs them into generation bumps) and
+/// every arming it sees already carries the generation that makes stale
+/// firings detectable.
+pub trait Transport<M, O> {
+    /// Ship `msg` to `dest` (a peer or everyone, loopback included).
+    fn send(&mut self, dest: Dest, msg: M);
+
+    /// Schedule timer `id` to fire `after` ticks from now, tagged with
+    /// `generation`. The runtime must echo the tag back through
+    /// [`Engine::on_timer`]; it never interprets it.
+    fn arm_timer(&mut self, id: TimerId, generation: u64, after: u64);
+
+    /// Surface a protocol output to the application.
+    fn deliver_output(&mut self, out: O);
+}
+
+/// A multiplexed engine input: everything that can wake a node.
+///
+/// Runtimes funnel their raw event sources (sockets, wakeup heaps, client
+/// queues, a virtual-time event queue) into this one enum and hand it to
+/// [`Engine::on_event`]; the engine routes each case, so no runtime
+/// re-implements the mux.
+#[derive(Debug)]
+pub enum EngineEvent<M, R = std::convert::Infallible> {
+    /// The node boots (exactly once).
+    Start,
+    /// A peer message arrived over the transport.
+    Deliver {
+        /// Authenticated sender.
+        from: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// A scheduled timer came due; `generation` is the tag the engine
+    /// attached when arming. Stale generations are dropped here.
+    Timer {
+        /// Which timer.
+        id: TimerId,
+        /// Arming tag; only the newest arming per id is live.
+        generation: u64,
+    },
+    /// A client submitted a request (e.g. a transaction for the mempool).
+    Submit(R),
+}
+
+/// A node that accepts client-submitted requests through the engine's
+/// input mux — the third input class next to deliveries and timers.
+///
+/// Admission is synchronous and may be refused (backpressure): a bounded
+/// mempool returns its typed rejection here rather than growing without
+/// bound.
+pub trait Submitter: Node {
+    /// What clients submit.
+    type Request;
+    /// Why a submission may be refused.
+    type SubmitError;
+
+    /// Accepts or rejects one client request.
+    fn accept(&mut self, req: Self::Request) -> Result<(), Self::SubmitError>;
+}
+
+/// The protocol-driving loop around one [`Node`].
+///
+/// The engine owns the node, its timer-generation table, and the
+/// translation of node [`Action`]s into [`Transport`] calls. A runtime
+/// feeds it events ([`Engine::start`], [`Engine::on_deliver`],
+/// [`Engine::on_timer`], [`Engine::submit`] — or the combined
+/// [`Engine::on_event`] mux) together with the current time and a
+/// transport to act through.
+///
+/// # Timer generations
+///
+/// `SetTimer` tags the arming with a generation drawn from one counter
+/// that is global across all timer ids and never reused; a firing whose
+/// generation is not the id's current one is ignored, which implements
+/// both replace and cancel without the runtime ever deleting queued
+/// events. Because generations are globally unique, entries for fired and
+/// cancelled timers can be dropped immediately — an orphaned queued
+/// firing can never collide with a later arming — so the table holds only
+/// the currently-armed timers (O(armed), not O(ids ever used); protocols
+/// that key timers by an unbounded sequence number, like multi-shot's
+/// per-slot view timers, would otherwise leak an entry per key).
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_engine::{Context, Dest, Engine, Input, Node, Time, Transport, WireSize};
+/// use tetrabft_types::NodeId;
+///
+/// #[derive(Clone)]
+/// struct Ping;
+/// impl WireSize for Ping {
+///     fn wire_size(&self) -> usize { 1 }
+/// }
+/// struct Hello;
+/// impl Node for Hello {
+///     type Msg = Ping;
+///     type Output = &'static str;
+///     fn handle(&mut self, input: Input<Ping>, ctx: &mut Context<'_, Ping, &'static str>) {
+///         if matches!(input, Input::Start) {
+///             ctx.broadcast(Ping);
+///             ctx.output("booted");
+///         }
+///     }
+/// }
+///
+/// #[derive(Default)]
+/// struct Recorder { sends: usize, outputs: Vec<&'static str> }
+/// impl Transport<Ping, &'static str> for Recorder {
+///     fn send(&mut self, _dest: Dest, _msg: Ping) { self.sends += 1 }
+///     fn arm_timer(&mut self, _id: tetrabft_engine::TimerId, _generation: u64, _after: u64) {}
+///     fn deliver_output(&mut self, out: &'static str) { self.outputs.push(out) }
+/// }
+///
+/// let mut engine = Engine::new(Hello, NodeId(0), 4);
+/// let mut transport = Recorder::default();
+/// engine.start(Time(0), &mut transport);
+/// assert_eq!(transport.sends, 1);
+/// assert_eq!(transport.outputs, vec!["booted"]);
+/// ```
+#[derive(Debug)]
+pub struct Engine<N> {
+    node: N,
+    me: NodeId,
+    n: usize,
+    /// Live generation per *armed* timer; fired/cancelled entries are
+    /// removed (safe because generations are never reused across ids).
+    generations: HashMap<TimerId, u64>,
+    next_generation: u64,
+}
+
+impl<N: Node> Engine<N> {
+    /// Wraps `node` (node `me` of `n`) in an engine with no armed timers.
+    pub fn new(node: N, me: NodeId, n: usize) -> Self {
+        Engine { node, me, n, generations: HashMap::new(), next_generation: 0 }
+    }
+
+    /// Number of currently armed timers (the size of the generation
+    /// table — bounded by the protocol's live timers, not its history).
+    pub fn armed_timers(&self) -> usize {
+        self.generations.len()
+    }
+
+    /// This node's id.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the system.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The wrapped node.
+    #[inline]
+    pub fn node(&self) -> &N {
+        &self.node
+    }
+
+    /// Mutable access to the wrapped node (test inspection, submissions
+    /// outside the mux).
+    #[inline]
+    pub fn node_mut(&mut self) -> &mut N {
+        &mut self.node
+    }
+
+    /// Unwraps the engine, returning the node.
+    pub fn into_node(self) -> N {
+        self.node
+    }
+
+    /// Boots the node (deliver exactly once, before any other event).
+    pub fn start<T: Transport<N::Msg, N::Output>>(&mut self, now: Time, transport: &mut T) {
+        self.dispatch(Input::Start, now, transport);
+    }
+
+    /// Feeds one peer message to the node.
+    pub fn on_deliver<T: Transport<N::Msg, N::Output>>(
+        &mut self,
+        from: NodeId,
+        msg: N::Msg,
+        now: Time,
+        transport: &mut T,
+    ) {
+        self.dispatch(Input::Deliver { from, msg }, now, transport);
+    }
+
+    /// Feeds one timer firing to the node, unless its generation is stale
+    /// (the timer was replaced or cancelled after this firing was queued).
+    /// Returns whether the node ran.
+    pub fn on_timer<T: Transport<N::Msg, N::Output>>(
+        &mut self,
+        id: TimerId,
+        generation: u64,
+        now: Time,
+        transport: &mut T,
+    ) -> bool {
+        if self.generations.get(&id) != Some(&generation) {
+            return false;
+        }
+        // The firing consumes the arming; the handler may re-arm (getting
+        // a fresh, never-reused generation), so removal cannot resurrect
+        // this or any other queued firing.
+        self.generations.remove(&id);
+        self.dispatch(Input::Timer { id }, now, transport);
+        true
+    }
+
+    fn dispatch<T: Transport<N::Msg, N::Output>>(
+        &mut self,
+        input: Input<N::Msg>,
+        now: Time,
+        transport: &mut T,
+    ) {
+        let mut actions: Vec<Action<N::Msg, N::Output>> = Vec::new();
+        {
+            let mut ctx = Context::buffered(self.me, self.n, now, &mut actions);
+            self.node.handle(input, &mut ctx);
+        }
+        for action in actions {
+            match action {
+                Action::Send { dest, msg } => transport.send(dest, msg),
+                Action::SetTimer { id, after } => {
+                    self.next_generation += 1;
+                    let generation = self.next_generation;
+                    self.generations.insert(id, generation);
+                    transport.arm_timer(id, generation, after);
+                }
+                Action::CancelTimer { id } => {
+                    // Dropping the entry orphans any queued firing: its
+                    // generation can never match a future arming's.
+                    self.generations.remove(&id);
+                }
+                Action::Output(out) => transport.deliver_output(out),
+            }
+        }
+    }
+}
+
+impl<N: Submitter> Engine<N> {
+    /// Admits one client request into the node (mempool admission); the
+    /// typed error is the backpressure signal.
+    pub fn submit(&mut self, req: N::Request) -> Result<(), N::SubmitError> {
+        self.node.accept(req)
+    }
+
+    /// The full input mux: routes a runtime event to the node. Returns
+    /// whether the node ran (`false` for stale timers and refused
+    /// submissions).
+    pub fn on_event<T: Transport<N::Msg, N::Output>>(
+        &mut self,
+        event: EngineEvent<N::Msg, N::Request>,
+        now: Time,
+        transport: &mut T,
+    ) -> bool {
+        match event {
+            EngineEvent::Start => {
+                self.start(now, transport);
+                true
+            }
+            EngineEvent::Deliver { from, msg } => {
+                self.on_deliver(from, msg, now, transport);
+                true
+            }
+            EngineEvent::Timer { id, generation } => self.on_timer(id, generation, now, transport),
+            EngineEvent::Submit(req) => self.submit(req).is_ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::WireSize;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Msg(u64);
+    impl WireSize for Msg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// A node that re-arms timer 1 on start and echoes timer firings.
+    struct TimerNode;
+    impl Node for TimerNode {
+        type Msg = Msg;
+        type Output = u64;
+        fn handle(&mut self, input: Input<Msg>, ctx: &mut Context<'_, Msg, u64>) {
+            match input {
+                Input::Start => {
+                    ctx.set_timer(TimerId(1), 10);
+                    ctx.set_timer(TimerId(1), 3); // replaces the first arming
+                    ctx.set_timer(TimerId(2), 5);
+                    ctx.cancel_timer(TimerId(2));
+                }
+                Input::Timer { id } => ctx.output(id.0),
+                Input::Deliver { msg, .. } => ctx.output(msg.0),
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        sends: Vec<(Dest, Msg)>,
+        armed: Vec<(TimerId, u64, u64)>,
+        outputs: Vec<u64>,
+    }
+    impl Transport<Msg, u64> for Recorder {
+        fn send(&mut self, dest: Dest, msg: Msg) {
+            self.sends.push((dest, msg));
+        }
+        fn arm_timer(&mut self, id: TimerId, generation: u64, after: u64) {
+            self.armed.push((id, generation, after));
+        }
+        fn deliver_output(&mut self, out: u64) {
+            self.outputs.push(out);
+        }
+    }
+
+    #[test]
+    fn replaced_and_cancelled_timers_are_generation_filtered() {
+        let mut engine = Engine::new(TimerNode, NodeId(0), 1);
+        let mut t = Recorder::default();
+        engine.start(Time(0), &mut t);
+        // Generations come from one global never-reused counter: timer 1
+        // armed twice (gen 1, then replaced by gen 2), timer 2 once
+        // (gen 3, then cancelled — its entry is dropped, not bumped).
+        assert_eq!(t.armed, vec![(TimerId(1), 1, 10), (TimerId(1), 2, 3), (TimerId(2), 3, 5)]);
+        // The replaced arming is stale; the replacement fires.
+        assert!(!engine.on_timer(TimerId(1), 1, Time(10), &mut t));
+        assert!(engine.on_timer(TimerId(1), 2, Time(3), &mut t));
+        // The cancelled timer's queued firing is stale too.
+        assert!(!engine.on_timer(TimerId(2), 3, Time(5), &mut t));
+        assert_eq!(t.outputs, vec![1]);
+        // A consumed firing cannot replay.
+        assert!(!engine.on_timer(TimerId(1), 2, Time(3), &mut t));
+    }
+
+    #[test]
+    fn generation_table_stays_bounded_by_armed_timers() {
+        // A protocol keying timers by an unbounded sequence number (one
+        // fresh id per "slot", fired or cancelled soon after) must not
+        // leak a table entry per id — the production-longevity regression.
+        struct Churn;
+        impl Node for Churn {
+            type Msg = Msg;
+            type Output = u64;
+            fn handle(&mut self, input: Input<Msg>, ctx: &mut Context<'_, Msg, u64>) {
+                if let Input::Deliver { msg, .. } = input {
+                    ctx.set_timer(TimerId(msg.0), 1); // arm slot timer
+                    if msg.0 >= 2 {
+                        ctx.cancel_timer(TimerId(msg.0 - 2)); // retire an old one
+                    }
+                }
+            }
+        }
+        let mut engine = Engine::new(Churn, NodeId(0), 1);
+        let mut t = Recorder::default();
+        for k in 0..10_000 {
+            engine.on_deliver(NodeId(0), Msg(k), Time(k), &mut t);
+        }
+        assert!(engine.armed_timers() <= 2, "got {}", engine.armed_timers());
+        // And firing the survivors empties the table entirely.
+        for (id, generation, _) in t.armed.clone().iter().rev().take(2) {
+            engine.on_timer(*id, *generation, Time(10_000), &mut t);
+        }
+        assert_eq!(engine.armed_timers(), 0);
+    }
+
+    #[test]
+    fn deliveries_reach_the_node_and_outputs_the_transport() {
+        let mut engine = Engine::new(TimerNode, NodeId(0), 1);
+        let mut t = Recorder::default();
+        engine.on_deliver(NodeId(0), Msg(42), Time(1), &mut t);
+        assert_eq!(t.outputs, vec![42]);
+    }
+
+    /// A submitter whose pool holds one request.
+    struct OneSlot {
+        held: Option<u64>,
+    }
+    impl Node for OneSlot {
+        type Msg = Msg;
+        type Output = u64;
+        fn handle(&mut self, input: Input<Msg>, ctx: &mut Context<'_, Msg, u64>) {
+            if matches!(input, Input::Start) {
+                if let Some(v) = self.held.take() {
+                    ctx.output(v);
+                }
+            }
+        }
+    }
+    impl Submitter for OneSlot {
+        type Request = u64;
+        type SubmitError = &'static str;
+        fn accept(&mut self, req: u64) -> Result<(), &'static str> {
+            if self.held.is_some() {
+                return Err("full");
+            }
+            self.held = Some(req);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn submit_mux_applies_backpressure() {
+        let mut engine = Engine::new(OneSlot { held: None }, NodeId(0), 1);
+        let mut t = Recorder::default();
+        assert!(engine.on_event(EngineEvent::Submit(7), Time(0), &mut t));
+        assert!(!engine.on_event(EngineEvent::Submit(8), Time(0), &mut t), "pool is full");
+        assert_eq!(engine.submit(9), Err("full"));
+        engine.on_event(EngineEvent::Start, Time(0), &mut t);
+        assert_eq!(t.outputs, vec![7], "the admitted request drains on start");
+    }
+}

@@ -16,9 +16,11 @@ pub trait WireSize {
 /// Identifier of a protocol timer, chosen by the protocol.
 ///
 /// Setting a timer with an id that is already pending *replaces* it; firing
-/// and cancellation are matched per id.
+/// and cancellation are matched per id. The id space is the full `u64` so
+/// protocols may key timers by unbounded sequence numbers (multi-shot keys
+/// them by slot) without aliasing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct TimerId(pub u32);
+pub struct TimerId(pub u64);
 
 /// Destination of a send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +56,8 @@ pub enum Input<M> {
 ///
 /// Implementations must be pure: all effects go through the [`Context`].
 /// The same state machine is driven by the simulator, by the TCP runtime
-/// in `tetrabft-net`, and by schedule exploration in tests.
+/// in `tetrabft-net`, and by schedule exploration in tests — all through
+/// the shared [`Engine`](crate::Engine) loop.
 pub trait Node {
     /// Message type exchanged with peers.
     type Msg: WireSize + Clone;
@@ -65,11 +68,20 @@ pub trait Node {
     fn handle(&mut self, input: Input<Self::Msg>, ctx: &mut Context<'_, Self::Msg, Self::Output>);
 }
 
+impl<N: Node + ?Sized> Node for Box<N> {
+    type Msg = N::Msg;
+    type Output = N::Output;
+    fn handle(&mut self, input: Input<Self::Msg>, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        (**self).handle(input, ctx)
+    }
+}
+
 /// An effect a node asked its environment to perform.
 ///
-/// The simulator interprets these internally; embedders (the TCP runtime
-/// in `tetrabft-net`, protocol wrappers like the repeated-single-shot
-/// baseline) obtain them via [`Context::buffered`].
+/// The [`Engine`](crate::Engine) interprets these against a
+/// [`Transport`](crate::Transport); embedders that drive nodes by hand
+/// (protocol wrappers like the repeated-single-shot baseline) obtain them
+/// via [`Context::buffered`].
 #[derive(Debug)]
 pub enum Action<M, O> {
     /// Send `msg` to `dest`.
@@ -105,16 +117,16 @@ pub struct Context<'a, M, O> {
 
 impl<'a, M, O> Context<'a, M, O> {
     /// Creates a context that records every effect into `buf`, for driving
-    /// a [`Node`] outside the simulator (real runtimes, wrappers, tests).
+    /// a [`Node`] outside an engine (protocol wrappers, tests).
     ///
     /// # Examples
     ///
     /// ```
-    /// use tetrabft_sim::{Action, Context};
+    /// use tetrabft_engine::{Action, Context};
     /// use tetrabft_types::NodeId;
     ///
     /// let mut buf: Vec<Action<u8, ()>> = Vec::new();
-    /// let mut ctx = Context::buffered(NodeId(0), 4, tetrabft_sim::Time(0), &mut buf);
+    /// let mut ctx = Context::buffered(NodeId(0), 4, tetrabft_engine::Time(0), &mut buf);
     /// ctx.send(NodeId(1), 42u8);
     /// assert_eq!(buf.len(), 1);
     /// ```

@@ -6,12 +6,13 @@ use std::ops::Add;
 /// A point in virtual time (ticks since simulation start).
 ///
 /// Under the canonical unit-delay policy one tick equals one message delay,
-/// which is the latency unit used throughout the paper.
+/// which is the latency unit used throughout the paper. The TCP runtime in
+/// `tetrabft-net` maps one tick to one millisecond of wall-clock time.
 ///
 /// # Examples
 ///
 /// ```
-/// use tetrabft_sim::Time;
+/// use tetrabft_engine::Time;
 /// assert_eq!(Time(3) + 2, Time(5));
 /// assert!(Time(1) < Time(2));
 /// ```

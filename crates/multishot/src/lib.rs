@@ -50,12 +50,16 @@
 
 mod block;
 mod instance;
+mod mempool;
 mod msg;
 mod node;
+mod shard;
 mod store;
 
 pub use block::{Block, BlockHash, GENESIS_HASH};
 pub use instance::SlotInstance;
+pub use mempool::{Mempool, SubmitError};
 pub use msg::MsMessage;
 pub use node::{Finalized, MultiShotNode, SLOT_WINDOW};
+pub use shard::{FinalizedMerge, GlobalFinalized, ShardSpec, ShardedSim};
 pub use store::BlockStore;

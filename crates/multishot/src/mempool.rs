@@ -1,0 +1,292 @@
+//! The bounded transaction mempool feeding leader batch assembly.
+//!
+//! The pool replaces the unbounded `VecDeque` the node used to carry:
+//! admission validates transactions (non-empty, under the size cap),
+//! deduplicates against everything still queued, and refuses submissions
+//! past a fixed capacity — the typed [`SubmitError`] is the backpressure
+//! signal clients react to. Drain order is strictly FIFO, so a submitted
+//! transaction's position in the chain is a function of its submission
+//! order alone.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Why a transaction submission was refused.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_multishot::{Mempool, SubmitError};
+///
+/// let mut pool = Mempool::new(2, 8);
+/// assert_eq!(pool.submit(vec![]), Err(SubmitError::Empty));
+/// assert_eq!(pool.submit(vec![0; 9]), Err(SubmitError::TooLarge { size: 9, max: 8 }));
+/// pool.submit(b"a".to_vec()).unwrap();
+/// assert_eq!(pool.submit(b"a".to_vec()), Err(SubmitError::Duplicate));
+/// pool.submit(b"b".to_vec()).unwrap();
+/// assert_eq!(pool.submit(b"c".to_vec()), Err(SubmitError::Full { capacity: 2 }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Empty transactions carry no payload and would only bloat blocks.
+    Empty,
+    /// The transaction exceeds the per-transaction size cap.
+    TooLarge {
+        /// Size of the offending transaction in bytes.
+        size: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// A byte-identical transaction is already queued.
+    Duplicate,
+    /// The pool is at capacity — the backpressure signal; retry after the
+    /// chain drains some blocks.
+    Full {
+        /// The configured admission bound.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Empty => write!(f, "empty transaction"),
+            SubmitError::TooLarge { size, max } => {
+                write!(f, "transaction of {size} bytes exceeds the {max}-byte cap")
+            }
+            SubmitError::Duplicate => write!(f, "transaction is already queued"),
+            SubmitError::Full { capacity } => {
+                write!(f, "mempool is at its capacity of {capacity} transactions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A bounded FIFO transaction pool with validation and dedup at admission.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_multishot::Mempool;
+///
+/// let mut pool = Mempool::new(100, 32);
+/// for k in 0..5u8 {
+///     pool.submit(vec![k + 1]).unwrap();
+/// }
+/// let batch = pool.next_batch(3);
+/// assert_eq!(batch, vec![vec![1], vec![2], vec![3]], "drain order is FIFO");
+/// assert_eq!(pool.len(), 2);
+/// // A drained transaction may be resubmitted (it is no longer queued).
+/// pool.submit(vec![1]).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    queue: VecDeque<Vec<u8>>,
+    // Multiset of digests of `queue`'s entries. A digest hit alone never
+    // refuses a transaction — admission confirms by byte-comparing against
+    // the queue — so dedup stays byte-exact without storing every payload
+    // twice; the count keeps colliding digests correct through drains.
+    queued: HashMap<u64, u32>,
+    capacity: usize,
+    max_tx_bytes: usize,
+}
+
+fn digest(tx: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tx {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Mempool {
+    /// Creates an empty pool admitting at most `capacity` transactions of
+    /// at most `max_tx_bytes` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `max_tx_bytes == 0`.
+    pub fn new(capacity: usize, max_tx_bytes: usize) -> Self {
+        assert!(capacity > 0, "mempool must admit at least one tx");
+        assert!(max_tx_bytes > 0, "tx size cap must be positive");
+        Mempool { queue: VecDeque::new(), queued: HashMap::new(), capacity, max_tx_bytes }
+    }
+
+    /// Validates and admits one transaction, FIFO position at the tail.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Empty`] and [`SubmitError::TooLarge`] reject
+    /// degenerate transactions; [`SubmitError::Duplicate`] refuses a
+    /// byte-identical queued transaction; [`SubmitError::Full`] is the
+    /// backpressure signal at capacity.
+    pub fn submit(&mut self, tx: Vec<u8>) -> Result<(), SubmitError> {
+        if tx.is_empty() {
+            return Err(SubmitError::Empty);
+        }
+        if tx.len() > self.max_tx_bytes {
+            return Err(SubmitError::TooLarge { size: tx.len(), max: self.max_tx_bytes });
+        }
+        let d = digest(&tx);
+        // Confirm a digest hit by byte comparison: a pure collision must
+        // not refuse an honest transaction.
+        if self.queued.get(&d).is_some_and(|c| *c > 0) && self.queue.contains(&tx) {
+            return Err(SubmitError::Duplicate);
+        }
+        if self.queue.len() >= self.capacity {
+            return Err(SubmitError::Full { capacity: self.capacity });
+        }
+        *self.queued.entry(d).or_insert(0) += 1;
+        self.queue.push_back(tx);
+        Ok(())
+    }
+
+    /// Drains up to `max_txs` transactions in FIFO order — the leader's
+    /// batch assembly step when it mints a block.
+    pub fn next_batch(&mut self, max_txs: usize) -> Vec<Vec<u8>> {
+        let take = self.queue.len().min(max_txs);
+        let batch: Vec<Vec<u8>> = self.queue.drain(..take).collect();
+        for tx in &batch {
+            self.forget(tx);
+        }
+        batch
+    }
+
+    /// Returns a previously drained batch to the *front* of the queue, in
+    /// its original order — used when the proposal it was packed into lost
+    /// a view change, so the transactions keep their FIFO position for the
+    /// node's next block instead of being silently dropped.
+    ///
+    /// The capacity check is deliberately skipped: these transactions were
+    /// already admitted once, and the transient overshoot is bounded by
+    /// the in-flight window (`SLOT_WINDOW` batches).
+    pub fn requeue_front(&mut self, txs: Vec<Vec<u8>>) {
+        for tx in txs.into_iter().rev() {
+            *self.queued.entry(digest(&tx)).or_insert(0) += 1;
+            self.queue.push_front(tx);
+        }
+    }
+
+    fn forget(&mut self, tx: &[u8]) {
+        if let Some(count) = self.queued.get_mut(&digest(tx)) {
+            *count -= 1;
+            if *count == 0 {
+                self.queued.remove(&digest(tx));
+            }
+        }
+    }
+
+    /// Number of queued transactions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The per-transaction size cap in bytes.
+    pub fn max_tx_bytes(&self) -> usize {
+        self.max_tx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_across_batches() {
+        let mut pool = Mempool::new(1_000, 64);
+        for k in 0..10u32 {
+            pool.submit(k.to_be_bytes().to_vec()).unwrap();
+        }
+        let first = pool.next_batch(4);
+        let second = pool.next_batch(4);
+        let third = pool.next_batch(4);
+        let drained: Vec<u32> = first
+            .iter()
+            .chain(&second)
+            .chain(&third)
+            .map(|tx| u32::from_be_bytes(tx[..4].try_into().unwrap()))
+            .collect();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>(), "FIFO across batch boundaries");
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn capacity_backpressure_releases_after_drain() {
+        let mut pool = Mempool::new(3, 64);
+        for k in 0..3u8 {
+            pool.submit(vec![k + 1]).unwrap();
+        }
+        assert_eq!(pool.submit(vec![9]), Err(SubmitError::Full { capacity: 3 }));
+        pool.next_batch(1);
+        pool.submit(vec![9]).unwrap();
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn dedup_is_scoped_to_queued_txs() {
+        let mut pool = Mempool::new(10, 64);
+        pool.submit(b"tx".to_vec()).unwrap();
+        assert_eq!(pool.submit(b"tx".to_vec()), Err(SubmitError::Duplicate));
+        assert_eq!(pool.next_batch(10).len(), 1);
+        pool.submit(b"tx".to_vec()).expect("drained txs may be resubmitted");
+    }
+
+    #[test]
+    fn requeued_batch_regains_fifo_head_and_dedup() {
+        let mut pool = Mempool::new(3, 64);
+        for k in 0..3u8 {
+            pool.submit(vec![k + 1]).unwrap();
+        }
+        let batch = pool.next_batch(2); // [1], [2] in flight
+        pool.requeue_front(batch);
+        assert_eq!(pool.next_batch(3), vec![vec![1], vec![2], vec![3]], "original order restored");
+        // Dedup follows the requeued entries.
+        pool.submit(vec![9]).unwrap();
+        let batch = pool.next_batch(1);
+        pool.requeue_front(batch);
+        assert_eq!(pool.submit(vec![9]), Err(SubmitError::Duplicate));
+        // Requeue may transiently exceed capacity (already-admitted txs).
+        for k in 10..12u8 {
+            pool.submit(vec![k]).unwrap();
+        }
+        let batch = pool.next_batch(3);
+        pool.submit(vec![99]).unwrap();
+        pool.submit(vec![98]).unwrap();
+        pool.submit(vec![97]).unwrap();
+        pool.requeue_front(batch);
+        assert_eq!(pool.len(), 6, "3 queued + 3 requeued");
+    }
+
+    #[test]
+    fn degenerate_txs_rejected() {
+        let mut pool = Mempool::new(10, 4);
+        assert_eq!(pool.submit(Vec::new()), Err(SubmitError::Empty));
+        assert_eq!(pool.submit(vec![0; 5]), Err(SubmitError::TooLarge { size: 5, max: 4 }));
+        assert!(pool.is_empty(), "rejected txs never enter the pool");
+    }
+
+    #[test]
+    fn error_messages_name_the_limit() {
+        assert_eq!(
+            SubmitError::Full { capacity: 7 }.to_string(),
+            "mempool is at its capacity of 7 transactions"
+        );
+        assert_eq!(
+            SubmitError::TooLarge { size: 9, max: 8 }.to_string(),
+            "transaction of 9 bytes exceeds the 8-byte cap"
+        );
+    }
+}

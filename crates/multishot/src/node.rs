@@ -1,14 +1,15 @@
 //! The Multi-shot TetraBFT node (Algorithms 2 and 3).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 use tetrabft::rules::{leader_determine_safe, node_determine_safe};
 use tetrabft::{Message as CoreMessage, Params, ProofData, SuggestData};
-use tetrabft_sim::{Context, Input, Node, TimerId};
+use tetrabft_sim::{Context, Input, Node, Submitter, TimerId};
 use tetrabft_types::{Config, NodeId, Phase, Slot, Value, View};
 
 use crate::block::{Block, BlockHash, GENESIS_HASH};
 use crate::instance::SlotInstance;
+use crate::mempool::{Mempool, SubmitError};
 use crate::msg::MsMessage;
 use crate::store::BlockStore;
 
@@ -17,9 +18,6 @@ use crate::store::BlockStore;
 /// The finality lag is 4 slots and at most 5 blocks can abort (Section 6.2),
 /// so 8 gives comfortable headroom while keeping protocol state O(window·n).
 pub const SLOT_WINDOW: u64 = 8;
-
-/// Maximum transactions a leader packs into one block.
-const MAX_BLOCK_TXS: usize = 64;
 
 /// The "fresh block" sentinel passed to Rule 1 as the leader's default
 /// value: block hashes are never 0 (see [`Block::hash`]), so when
@@ -64,8 +62,13 @@ pub struct MultiShotNode {
     /// Highest view-change this node broadcast.
     vc_sent: Option<(Slot, View)>,
     /// Transactions waiting to be packed into a block by this node when it
-    /// leads a slot.
-    mempool: VecDeque<Vec<u8>>,
+    /// leads a slot: bounded, validated, FIFO-with-dedup.
+    mempool: Mempool,
+    /// Hash of the block each drained batch went into, per slot, until the
+    /// slot finalizes: if it finalizes with a *different* block (our
+    /// proposal lost a view change), the batch is re-queued rather than
+    /// silently lost. Bounded by the slot window.
+    in_flight: BTreeMap<Slot, BlockHash>,
 }
 
 impl MultiShotNode {
@@ -82,15 +85,27 @@ impl MultiShotNode {
             pending: vec![None; cfg.n()],
             vc_raw: vec![None; cfg.n()],
             vc_sent: None,
-            mempool: VecDeque::new(),
+            mempool: Mempool::new(params.mempool_capacity(), params.max_tx_bytes()),
+            in_flight: BTreeMap::new(),
         }
     }
 
     /// Queues a transaction; it will be included the next time this node
     /// leads a slot (liveness: if every node queues it, it eventually lands
     /// in the finalized chain).
-    pub fn submit_tx(&mut self, tx: Vec<u8>) {
-        self.mempool.push_back(tx);
+    ///
+    /// # Errors
+    ///
+    /// Degenerate transactions (empty, oversized, already queued) are
+    /// refused with the reason; [`SubmitError::Full`] is the backpressure
+    /// signal once [`Params::mempool_capacity`] transactions are queued.
+    pub fn submit_tx(&mut self, tx: Vec<u8>) -> Result<(), SubmitError> {
+        self.mempool.submit(tx)
+    }
+
+    /// Number of transactions waiting in this node's mempool.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
     }
 
     /// Highest finalized slot.
@@ -115,7 +130,9 @@ impl MultiShotNode {
     }
 
     fn timer_for(slot: Slot) -> TimerId {
-        TimerId(slot.0 as u32)
+        // TimerId is as wide as Slot, so slots never alias (a u32 id
+        // wrapped at slot 2^32, resurrecting foreign slots' timers).
+        TimerId(slot.0)
     }
 
     fn ensure_instance(&mut self, slot: Slot, ctx: &mut Ctx<'_>) {
@@ -441,9 +458,25 @@ impl MultiShotNode {
     }
 
     fn build_block(&mut self, slot: Slot, parent: BlockHash) -> Block {
-        let take = self.mempool.len().min(MAX_BLOCK_TXS);
-        let txs: Vec<Vec<u8>> = self.mempool.drain(..take).collect();
-        Block::new(slot, parent, txs)
+        let block = Block::new(slot, parent, self.mempool.next_batch(self.params.max_block_txs()));
+        if !block.txs.is_empty() {
+            // A later fresh proposal for the same slot supersedes our
+            // earlier one; rescue that batch before dropping its record.
+            if let Some(old) = self.in_flight.insert(slot, block.hash()) {
+                self.requeue_batch(old);
+            }
+        }
+        block
+    }
+
+    /// Puts the transactions of our superseded/defeated block for a slot
+    /// back at the front of the mempool (the block is still in the store:
+    /// pruning keeps everything above `finalized − 4`, and in-flight slots
+    /// are above `finalized`).
+    fn requeue_batch(&mut self, ours: BlockHash) {
+        if let Some(block) = self.store.get(ours) {
+            self.mempool.requeue_front(block.txs.clone());
+        }
     }
 
     /// Vote for the slot's proposal once its parent is notarized and (in
@@ -535,6 +568,14 @@ impl MultiShotNode {
         }
         chain.reverse();
         for (s, h, block) in chain {
+            // If we drained a batch into a proposal for this slot and a
+            // different block won, the batch returns to the mempool's
+            // head — admitted transactions survive lost view changes.
+            if let Some(ours) = self.in_flight.remove(&s) {
+                if ours != h {
+                    self.requeue_batch(ours);
+                }
+            }
             ctx.output(Finalized { slot: s, hash: h, block });
             ctx.cancel_timer(Self::timer_for(s));
             self.instances.remove(&s);
@@ -565,10 +606,19 @@ impl Node for MultiShotNode {
                 self.drive(ctx);
             }
             Input::Timer { id } => {
-                self.on_timeout(Slot(u64::from(id.0)), ctx);
+                self.on_timeout(Slot(id.0), ctx);
                 self.drive(ctx);
             }
         }
+    }
+}
+
+impl Submitter for MultiShotNode {
+    type Request = Vec<u8>;
+    type SubmitError = SubmitError;
+
+    fn accept(&mut self, tx: Vec<u8>) -> Result<(), SubmitError> {
+        self.submit_tx(tx)
     }
 }
 
@@ -689,7 +739,7 @@ mod tests {
         let tx2 = tx.clone();
         let mut sim = SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(move |id| {
             let mut node = MultiShotNode::new(cfg(4), Params::new(100), id);
-            node.submit_tx(tx2.clone());
+            node.submit_tx(tx2.clone()).unwrap();
             node
         });
         sim.run_until(Time(40));
@@ -699,6 +749,39 @@ mod tests {
             .filter(|o| o.node == NodeId(0))
             .any(|o| o.output.block.txs.iter().any(|t| t == &tx));
         assert!(included, "submitted tx must be included in the finalized chain");
+    }
+
+    #[test]
+    fn degenerate_and_overflow_submissions_are_refused() {
+        use crate::mempool::SubmitError;
+        let params = Params::new(100).with_mempool_capacity(2).with_max_tx_bytes(8);
+        let mut node = MultiShotNode::new(cfg(4), params, NodeId(0));
+        assert_eq!(node.submit_tx(vec![]), Err(SubmitError::Empty));
+        assert_eq!(node.submit_tx(vec![0; 9]), Err(SubmitError::TooLarge { size: 9, max: 8 }));
+        node.submit_tx(b"a".to_vec()).unwrap();
+        assert_eq!(node.submit_tx(b"a".to_vec()), Err(SubmitError::Duplicate));
+        node.submit_tx(b"b".to_vec()).unwrap();
+        assert_eq!(node.submit_tx(b"c".to_vec()), Err(SubmitError::Full { capacity: 2 }));
+        assert_eq!(node.mempool_len(), 2);
+    }
+
+    #[test]
+    fn leader_batches_respect_max_block_txs() {
+        let n = 4;
+        let params = Params::new(100).with_max_block_txs(3);
+        let mut sim = SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(move |id| {
+            let mut node = MultiShotNode::new(cfg(4), params, id);
+            for k in 0..20u8 {
+                node.submit_tx(vec![id.0 as u8 + 1, k + 1]).unwrap();
+            }
+            node
+        });
+        sim.run_until(Time(40));
+        let blocks: Vec<&Block> =
+            sim.outputs().iter().filter(|o| o.node == NodeId(0)).map(|o| &o.output.block).collect();
+        assert!(blocks.len() > 8);
+        assert!(blocks.iter().all(|b| b.txs.len() <= 3), "no block may exceed max_block_txs");
+        assert!(blocks.iter().any(|b| b.txs.len() == 3), "leaders fill blocks to the cap");
     }
 
     #[test]

@@ -1,15 +1,16 @@
-//! Localhost cluster orchestration.
+//! Localhost cluster orchestration: flat clusters, submitting clusters,
+//! and the sharded multi-instance mode.
 
 use std::io;
 use std::net::TcpListener;
 use std::sync::mpsc;
 use std::time::Duration;
 
-use tetrabft_sim::Node;
+use tetrabft_engine::{Node, Submitter};
 use tetrabft_types::NodeId;
 use tetrabft_wire::Wire;
 
-use crate::runner::{run_node, NodeHandle};
+use crate::runner::{run_node, run_submitter, NodeHandle, SubmitHandle};
 
 /// A running localhost cluster: `n` nodes in one process, real TCP between
 /// them.
@@ -23,6 +24,21 @@ use crate::runner::{run_node, NodeHandle};
 pub struct Cluster<O> {
     outputs: mpsc::Receiver<(NodeId, O)>,
     handles: Vec<NodeHandle>,
+}
+
+/// What [`Cluster::spawn_submitting`] yields: the cluster plus one
+/// [`SubmitHandle`] per node (indexed by [`NodeId`]).
+pub type SubmittingCluster<O, R> = (Cluster<O>, Vec<SubmitHandle<R>>);
+
+fn bind_all(n: usize) -> io::Result<(Vec<TcpListener>, Vec<std::net::SocketAddr>)> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(listener.local_addr()?);
+        listeners.push(listener);
+    }
+    Ok((listeners, addrs))
 }
 
 impl<O> Cluster<O> {
@@ -39,13 +55,7 @@ impl<O> Cluster<O> {
         O: Send + 'static,
         F: FnMut(NodeId) -> N,
     {
-        let mut listeners = Vec::with_capacity(n);
-        let mut addrs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            addrs.push(listener.local_addr()?);
-            listeners.push(listener);
-        }
+        let (listeners, addrs) = bind_all(n)?;
         let (tx, rx) = mpsc::channel();
         let mut handles = Vec::with_capacity(n);
         for (i, listener) in listeners.into_iter().enumerate() {
@@ -54,6 +64,38 @@ impl<O> Cluster<O> {
             handles.push(handle);
         }
         Ok(Cluster { outputs: rx, handles })
+    }
+
+    /// Like [`Cluster::spawn`] for nodes accepting client submissions:
+    /// also returns one [`SubmitHandle`] per node, feeding requests into
+    /// that node's engine mux at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    pub fn spawn_submitting<N, F>(
+        n: usize,
+        mut make: F,
+    ) -> io::Result<SubmittingCluster<O, N::Request>>
+    where
+        N: Submitter<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        N::Request: Send + 'static,
+        O: Send + 'static,
+        F: FnMut(NodeId) -> N,
+    {
+        let (listeners, addrs) = bind_all(n)?;
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::with_capacity(n);
+        let mut submitters = Vec::with_capacity(n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let id = NodeId(i as u16);
+            let (handle, submit) =
+                run_submitter(make(id), id, listener, addrs.clone(), tx.clone())?;
+            handles.push(handle);
+            submitters.push(submit);
+        }
+        Ok((Cluster { outputs: rx, handles }, submitters))
     }
 
     /// Waits for the next protocol output from any node.
@@ -74,5 +116,78 @@ impl<O> Cluster<O> {
     /// `true` if the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
         self.handles.is_empty()
+    }
+}
+
+/// `k` independent clusters running in parallel threads — the net-layer
+/// counterpart of the simulator's deterministic `ShardedSim`
+/// (`tetrabft-multishot`): each shard is a full consensus group on its own
+/// engine instances, so aggregate throughput scales with `k` across OS
+/// threads (the simulator is single-threaded by design; this layer is not).
+///
+/// Every shard's outputs are funneled into one merged channel, tagged with
+/// the shard index, so waiting blocks (no polling) and ends early once all
+/// nodes have stopped. Reassembling the single global finalized stream is
+/// the consumer's job (for multi-shot shards,
+/// `tetrabft_multishot::FinalizedMerge` does exactly that).
+///
+/// Dropping the sharded cluster stops every node of every shard.
+#[derive(Debug)]
+pub struct ShardedCluster<O> {
+    merged: mpsc::Receiver<(usize, NodeId, O)>,
+    /// Per shard, the node stop handles (abort-on-drop).
+    handles: Vec<Vec<NodeHandle>>,
+}
+
+impl<O> ShardedCluster<O> {
+    /// Spawns `k` shards of `n` nodes each; `make` receives the shard
+    /// index and node id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn spawn<N, F>(k: usize, n: usize, mut make: F) -> io::Result<ShardedCluster<O>>
+    where
+        N: Node<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        O: Send + 'static,
+        F: FnMut(usize, NodeId) -> N,
+    {
+        assert!(k > 0, "at least one shard");
+        let (merged_tx, merged) = mpsc::channel();
+        let mut handles = Vec::with_capacity(k);
+        for j in 0..k {
+            let Cluster { outputs, handles: shard_handles } = Cluster::spawn(n, |id| make(j, id))?;
+            handles.push(shard_handles);
+            // Forwarder: tags the shard's outputs and exits when its node
+            // threads stop (their senders drop); once every forwarder is
+            // gone the merged channel disconnects, so receivers fail fast
+            // instead of sleeping out their timeout.
+            let tx = merged_tx.clone();
+            std::thread::spawn(move || {
+                while let Ok((node, out)) = outputs.recv() {
+                    if tx.send((j, node, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        Ok(ShardedCluster { merged, handles })
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Waits (blocking) for the next output from any shard:
+    /// `Some((shard, node, output))`, or `None` once `timeout` elapses or
+    /// every node of every shard has stopped.
+    pub fn next_output_timeout(&mut self, timeout: Duration) -> Option<(usize, NodeId, O)> {
+        self.merged.recv_timeout(timeout).ok()
     }
 }

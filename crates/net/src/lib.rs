@@ -2,9 +2,11 @@
 //! Multi-shot TetraBFT and conduct a practical evaluation" direction the
 //! paper lists as future work.
 //!
-//! The same sans-I/O [`tetrabft_sim::Node`] state machines the simulator
-//! drives run here over real sockets (std networking, one thread per
-//! connection — no async runtime dependency):
+//! The same sans-I/O [`tetrabft_engine::Node`] state machines the
+//! simulator drives run here over real sockets (std networking, one
+//! thread per connection — no async runtime dependency), through the very
+//! same [`tetrabft_engine::Engine`] loop — this crate only provides the
+//! threaded TCP [`tetrabft_engine::Transport`]:
 //!
 //! * every node listens on a TCP address and dials every peer (full mesh);
 //! * a connection is an **authenticated channel**: the 2-byte hello frame
@@ -41,5 +43,5 @@
 mod cluster;
 mod runner;
 
-pub use cluster::Cluster;
-pub use runner::{run_node, NodeHandle};
+pub use cluster::{Cluster, ShardedCluster, SubmittingCluster};
+pub use runner::{run_node, run_submitter, NodeHandle, SubmitClosed, SubmitHandle};

@@ -1,4 +1,12 @@
-//! Drives one protocol state machine over real sockets and timers.
+//! Drives one protocol state machine over real sockets and timers — a
+//! threaded TCP [`Transport`] underneath the shared
+//! [`tetrabft_engine::Engine`] loop.
+//!
+//! The runtime owns only I/O: the accept loop, per-peer reader/writer
+//! threads, a wall-clock timer heap, and the channels that funnel
+//! everything into one event stream per node. Timer generations, action
+//! dispatch, and the input mux (deliver / timer / client-submit) live in
+//! the engine, exactly as in the simulator.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -10,19 +18,24 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use tetrabft_sim::{Action, Context, Dest, Input, Node, Time, TimerId};
+use tetrabft_engine::{Dest, Engine, Node, Submitter, Time, TimerId, Transport};
 use tetrabft_types::NodeId;
 use tetrabft_wire::frame::{encode_frame, FrameDecoder};
 use tetrabft_wire::Wire;
 
 /// Internal events multiplexed into the node's single-threaded loop.
-enum Event<M> {
+enum Event<M, R> {
     Deliver { from: NodeId, msg: M },
     Timer { id: TimerId, generation: u64 },
+    Submit(R),
 }
 
 /// An armed timer handed to the node's shared timer thread.
 type Arming = (Instant, u64, TimerId);
+
+/// A spawned node: its stop handle plus the event channel feeding its
+/// engine mux (kept internal; submitters wrap it in a [`SubmitHandle`]).
+type Spawned<M, R> = (NodeHandle, mpsc::Sender<Event<M, R>>);
 
 /// Handle to a running node.
 ///
@@ -46,6 +59,89 @@ impl Drop for NodeHandle {
     }
 }
 
+/// A client's way into a running node's engine mux: submissions travel the
+/// same event channel as deliveries and timer firings.
+///
+/// Admission happens on the node's own thread; a transaction the mempool
+/// refuses (full, oversized, duplicate) is dropped there — at the TCP
+/// boundary backpressure is best-effort, while in-process embedders get
+/// the typed error from the node's own submit API.
+pub struct SubmitHandle<R> {
+    send: Box<dyn Fn(R) -> Result<(), SubmitClosed> + Send>,
+}
+
+impl<R> std::fmt::Debug for SubmitHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitHandle").finish_non_exhaustive()
+    }
+}
+
+/// The node this handle fed has shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitClosed;
+
+impl std::fmt::Display for SubmitClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node is no longer running")
+    }
+}
+
+impl std::error::Error for SubmitClosed {}
+
+impl<R> SubmitHandle<R> {
+    /// Enqueues one client request for the node's engine mux.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitClosed`] if the node has stopped.
+    pub fn submit(&self, req: R) -> Result<(), SubmitClosed> {
+        (self.send)(req)
+    }
+}
+
+/// The threaded TCP transport: frames to writer threads, armings to the
+/// timer thread, loopback deliveries back into the event channel, outputs
+/// to the application channel.
+struct TcpTransport<'a, M, R, O> {
+    me: NodeId,
+    writers: &'a HashMap<NodeId, mpsc::Sender<Arc<Vec<u8>>>>,
+    events: &'a mpsc::Sender<Event<M, R>>,
+    timers: &'a mpsc::Sender<Arming>,
+    outputs: &'a mpsc::Sender<(NodeId, O)>,
+}
+
+impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
+    fn send(&mut self, dest: Dest, msg: M) {
+        let bytes = Arc::new(encode_frame(&msg.to_bytes()));
+        match dest {
+            Dest::All => {
+                for tx in self.writers.values() {
+                    let _ = tx.send(Arc::clone(&bytes));
+                }
+                // Loopback, like the simulator: instantaneous.
+                let _ = self.events.send(Event::Deliver { from: self.me, msg });
+            }
+            Dest::Node(to) if to == self.me => {
+                let _ = self.events.send(Event::Deliver { from: self.me, msg });
+            }
+            Dest::Node(to) => {
+                if let Some(tx) = self.writers.get(&to) {
+                    let _ = tx.send(bytes);
+                }
+            }
+        }
+    }
+
+    fn arm_timer(&mut self, id: TimerId, generation: u64, after: u64) {
+        let due = Instant::now() + Duration::from_millis(after);
+        let _ = self.timers.send((due, generation, id));
+    }
+
+    fn deliver_output(&mut self, out: O) {
+        let _ = self.outputs.send((self.me, out));
+    }
+}
+
 /// Runs `node` as `me`, listening on `listener` and dialing `peers`
 /// (indexed by [`NodeId`]); outputs are forwarded to `outputs`.
 ///
@@ -56,7 +152,7 @@ impl Drop for NodeHandle {
 /// Returns an error if the listener cannot be inspected; dialing retries
 /// forever (peers may start in any order).
 pub fn run_node<N>(
-    mut node: N,
+    node: N,
     me: NodeId,
     listener: TcpListener,
     peers: Vec<SocketAddr>,
@@ -67,9 +163,72 @@ where
     N::Msg: Wire + Send + 'static,
     N::Output: Send + 'static,
 {
+    let (handle, _event_tx) = run_node_inner::<N, std::convert::Infallible>(
+        node,
+        me,
+        listener,
+        peers,
+        outputs,
+        |_, never| match never {},
+    )?;
+    Ok(handle)
+}
+
+/// Like [`run_node`] for nodes accepting client submissions
+/// ([`Submitter`]): the returned [`SubmitHandle`] feeds requests into the
+/// node's engine mux alongside deliveries and timers.
+///
+/// # Errors
+///
+/// As [`run_node`].
+pub fn run_submitter<N>(
+    node: N,
+    me: NodeId,
+    listener: TcpListener,
+    peers: Vec<SocketAddr>,
+    outputs: mpsc::Sender<(NodeId, N::Output)>,
+) -> io::Result<(NodeHandle, SubmitHandle<N::Request>)>
+where
+    N: Submitter + Send + 'static,
+    N::Msg: Wire + Send + 'static,
+    N::Output: Send + 'static,
+    N::Request: Send + 'static,
+{
+    let (handle, event_tx) = run_node_inner::<N, N::Request>(
+        node,
+        me,
+        listener,
+        peers,
+        outputs,
+        // Refused submissions (mempool full, degenerate tx) are dropped
+        // here; the admission verdict lives on the node's thread.
+        |engine, req| {
+            let _ = engine.submit(req);
+        },
+    )?;
+    let submit = SubmitHandle {
+        send: Box::new(move |req| event_tx.send(Event::Submit(req)).map_err(|_| SubmitClosed)),
+    };
+    Ok((handle, submit))
+}
+
+fn run_node_inner<N, R>(
+    node: N,
+    me: NodeId,
+    listener: TcpListener,
+    peers: Vec<SocketAddr>,
+    outputs: mpsc::Sender<(NodeId, N::Output)>,
+    mut on_submit: impl FnMut(&mut Engine<N>, R) + Send + 'static,
+) -> io::Result<Spawned<N::Msg, R>>
+where
+    N: Node + Send + 'static,
+    N::Msg: Wire + Send + 'static,
+    N::Output: Send + 'static,
+    R: Send + 'static,
+{
     let n = peers.len();
     let stop = Arc::new(AtomicBool::new(false));
-    let (event_tx, event_rx) = mpsc::channel::<Event<N::Msg>>();
+    let (event_tx, event_rx) = mpsc::channel::<Event<N::Msg, R>>();
 
     // Accept loop: each inbound connection announces its sender id in a
     // 2-byte hello, then streams frames. The connection *is* the
@@ -118,18 +277,23 @@ where
     }
 
     let loop_stop = Arc::clone(&stop);
+    let loop_events = event_tx.clone();
     thread::spawn(move || {
         let start = Instant::now();
-        let mut generations: HashMap<TimerId, u64> = HashMap::new();
+        let mut engine = Engine::new(node, me, n);
+        let now = || Time(start.elapsed().as_millis() as u64);
 
         // Boot the state machine.
-        let mut actions: Vec<Action<N::Msg, N::Output>> = Vec::new();
         {
-            let now = Time(start.elapsed().as_millis() as u64);
-            let mut ctx = Context::buffered(me, n, now, &mut actions);
-            node.handle(Input::Start, &mut ctx);
+            let mut transport = TcpTransport {
+                me,
+                writers: &writers,
+                events: &loop_events,
+                timers: &timer_tx,
+                outputs: &outputs,
+            };
+            engine.start(now(), &mut transport);
         }
-        apply_actions::<N>(actions, me, &writers, &event_tx, &timer_tx, &outputs, &mut generations);
 
         while !loop_stop.load(Ordering::Relaxed) {
             let event = match event_rx.recv_timeout(Duration::from_millis(20)) {
@@ -137,90 +301,34 @@ where
                 Err(mpsc::RecvTimeoutError::Timeout) => continue,
                 Err(mpsc::RecvTimeoutError::Disconnected) => return,
             };
-            let input = match event {
-                Event::Deliver { from, msg } => Input::Deliver { from, msg },
-                Event::Timer { id, generation } => {
-                    if generations.get(&id) != Some(&generation) {
-                        continue; // stale (replaced or cancelled) timer
-                    }
-                    Input::Timer { id }
-                }
-            };
-            let mut actions: Vec<Action<N::Msg, N::Output>> = Vec::new();
-            {
-                let now = Time(start.elapsed().as_millis() as u64);
-                let mut ctx = Context::buffered(me, n, now, &mut actions);
-                node.handle(input, &mut ctx);
-            }
-            apply_actions::<N>(
-                actions,
+            let mut transport = TcpTransport {
                 me,
-                &writers,
-                &event_tx,
-                &timer_tx,
-                &outputs,
-                &mut generations,
-            );
+                writers: &writers,
+                events: &loop_events,
+                timers: &timer_tx,
+                outputs: &outputs,
+            };
+            match event {
+                Event::Deliver { from, msg } => {
+                    engine.on_deliver(from, msg, now(), &mut transport);
+                }
+                Event::Timer { id, generation } => {
+                    // Stale (replaced or cancelled) firings die in the
+                    // engine's generation filter.
+                    engine.on_timer(id, generation, now(), &mut transport);
+                }
+                Event::Submit(req) => on_submit(&mut engine, req),
+            }
         }
     });
 
-    Ok(NodeHandle { stop })
-}
-
-fn apply_actions<N>(
-    actions: Vec<Action<N::Msg, N::Output>>,
-    me: NodeId,
-    writers: &HashMap<NodeId, mpsc::Sender<Arc<Vec<u8>>>>,
-    events: &mpsc::Sender<Event<N::Msg>>,
-    timers: &mpsc::Sender<Arming>,
-    outputs: &mpsc::Sender<(NodeId, N::Output)>,
-    generations: &mut HashMap<TimerId, u64>,
-) where
-    N: Node,
-    N::Msg: Wire + Send + 'static,
-{
-    for action in actions {
-        match action {
-            Action::Send { dest, msg } => {
-                let bytes = Arc::new(encode_frame(&msg.to_bytes()));
-                match dest {
-                    Dest::All => {
-                        for tx in writers.values() {
-                            let _ = tx.send(Arc::clone(&bytes));
-                        }
-                        // Loopback, like the simulator: instantaneous.
-                        let _ = events.send(Event::Deliver { from: me, msg });
-                    }
-                    Dest::Node(to) if to == me => {
-                        let _ = events.send(Event::Deliver { from: me, msg });
-                    }
-                    Dest::Node(to) => {
-                        if let Some(tx) = writers.get(&to) {
-                            let _ = tx.send(bytes);
-                        }
-                    }
-                }
-            }
-            Action::SetTimer { id, after } => {
-                let generation = generations.entry(id).or_insert(0);
-                *generation += 1;
-                let due = Instant::now() + Duration::from_millis(after);
-                let _ = timers.send((due, *generation, id));
-            }
-            Action::CancelTimer { id } => {
-                *generations.entry(id).or_insert(0) += 1;
-            }
-            Action::Output(output) => {
-                let _ = outputs.send((me, output));
-            }
-        }
-    }
+    Ok((NodeHandle { stop }, event_tx))
 }
 
 /// The per-node timer thread: keeps armings in a deadline heap and turns
 /// them into [`Event::Timer`]s when due. Stale generations are filtered by
-/// the event loop, so superseded armings may fire here harmlessly.
-fn run_timers<M>(rx: mpsc::Receiver<Arming>, events: mpsc::Sender<Event<M>>) {
+/// the engine, so superseded armings may fire here harmlessly.
+fn run_timers<M, R>(rx: mpsc::Receiver<Arming>, events: mpsc::Sender<Event<M, R>>) {
     let mut heap: BinaryHeap<Reverse<Arming>> = BinaryHeap::new();
     loop {
         let wait = match heap.peek() {
@@ -242,7 +350,10 @@ fn run_timers<M>(rx: mpsc::Receiver<Arming>, events: mpsc::Sender<Event<M>>) {
     }
 }
 
-fn read_peer<M: Wire>(mut stream: TcpStream, events: mpsc::Sender<Event<M>>) -> io::Result<()> {
+fn read_peer<M: Wire, R>(
+    mut stream: TcpStream,
+    events: mpsc::Sender<Event<M, R>>,
+) -> io::Result<()> {
     let mut hello = [0u8; 2];
     stream.read_exact(&mut hello)?;
     let from = NodeId(u16::from_be_bytes(hello));

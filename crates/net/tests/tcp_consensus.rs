@@ -33,7 +33,7 @@ fn multishot_tcp_cluster_finalizes_blocks() {
     let cfg = Config::new(4).unwrap();
     let mut cluster = Cluster::spawn(4, |id| {
         let mut node = MultiShotNode::new(cfg, Params::new(500), id);
-        node.submit_tx(format!("tx-from-{id}").into_bytes());
+        node.submit_tx(format!("tx-from-{id}").into_bytes()).unwrap();
         node
     })
     .expect("cluster spawns");
@@ -50,5 +50,63 @@ fn multishot_tcp_cluster_finalizes_blocks() {
     for chain in per_node.values() {
         let common = chain.len().min(reference.len());
         assert_eq!(&chain[..common], &reference[..common], "prefix consistency over TCP");
+    }
+}
+
+#[test]
+fn runtime_submissions_reach_the_chain_over_tcp() {
+    // Client-submit is the third engine input class: a tx handed to the
+    // running cluster through SubmitHandles (not pre-queued at build time)
+    // must land in the finalized chain.
+    let cfg = Config::new(4).unwrap();
+    let (mut cluster, submitters) =
+        Cluster::spawn_submitting(4, |id| MultiShotNode::new(cfg, Params::new(300), id))
+            .expect("cluster spawns");
+    let tx = b"live-client-tx".to_vec();
+    for handle in &submitters {
+        handle.submit(tx.clone()).expect("cluster is running");
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(std::time::Instant::now() < deadline, "tx must finalize within 30s");
+        let Some((_, fin)) = cluster.next_output_timeout(Duration::from_secs(30)) else {
+            continue;
+        };
+        if fin.block.txs.contains(&tx) {
+            break;
+        }
+    }
+}
+
+#[test]
+fn sharded_tcp_cluster_merges_into_one_global_stream() {
+    use tetrabft_multishot::{Finalized, FinalizedMerge, ShardSpec};
+    use tetrabft_net::ShardedCluster;
+    use tetrabft_types::NodeId;
+
+    let k = 2;
+    let cfg = Config::new(4).unwrap();
+    let mut cluster: ShardedCluster<Finalized> = ShardedCluster::spawn(k, 4, |shard, id| {
+        let mut node = MultiShotNode::new(cfg, Params::new(500), id);
+        node.submit_tx(format!("s{shard}-{id}").into_bytes()).unwrap();
+        node
+    })
+    .expect("sharded cluster spawns");
+
+    // Merge node 0's streams from both shards into the global chain until
+    // six consecutive global slots have finalized.
+    let mut merge = FinalizedMerge::new(ShardSpec::new(k));
+    let mut global = Vec::new();
+    while global.len() < 6 {
+        let (shard, node, fin) =
+            cluster.next_output_timeout(Duration::from_secs(30)).expect("finalize within 30s");
+        if node == NodeId(0) {
+            merge.push(shard, fin);
+            global.extend(merge.by_ref());
+        }
+    }
+    for (i, g) in global.iter().enumerate() {
+        assert_eq!(g.global_slot, i as u64 + 1, "global stream has no gaps");
+        assert_eq!(g.shard, (i) % k, "round-robin slot ownership");
     }
 }

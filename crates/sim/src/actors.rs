@@ -3,7 +3,7 @@
 
 use std::marker::PhantomData;
 
-use crate::node::{Context, Input, Node, WireSize};
+use tetrabft_engine::{Context, Input, Node, WireSize};
 
 /// A node that never sends anything — models a crashed / silent Byzantine
 /// node (the weakest adversary, but enough to force view changes).

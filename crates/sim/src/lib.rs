@@ -67,17 +67,19 @@
 
 mod actors;
 mod metrics;
-mod node;
 mod policy;
 mod queue;
 mod runner;
-mod time;
 mod trace;
 
 pub use actors::{FnNode, SilentNode};
 pub use metrics::{Metrics, NodeMetrics};
-pub use node::{Action, Context, Dest, Input, Node, TimerId, WireSize};
 pub use policy::{LinkPolicy, Route, RouteEnv};
 pub use runner::{OutputRecord, Sim, SimBuilder};
-pub use time::{Time, NEVER};
+// The node abstraction and the engine loop live in `tetrabft-engine`; the
+// simulator re-exports them so protocol crates keep a single import path.
+pub use tetrabft_engine::{
+    Action, Context, Dest, Engine, EngineEvent, Input, Node, Submitter, Time, TimerId, Transport,
+    WireSize, NEVER,
+};
 pub use trace::TraceEvent;

@@ -5,7 +5,7 @@ use rand::Rng;
 
 use tetrabft_types::NodeId;
 
-use crate::time::Time;
+use tetrabft_engine::Time;
 
 /// Everything a policy may condition a routing decision on.
 #[derive(Debug, Clone, Copy)]

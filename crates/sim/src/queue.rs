@@ -5,8 +5,8 @@ use std::collections::BinaryHeap;
 
 use tetrabft_types::NodeId;
 
-use crate::node::TimerId;
-use crate::time::Time;
+use tetrabft_engine::Time;
+use tetrabft_engine::TimerId;
 
 pub(crate) enum EventKind<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },

@@ -1,15 +1,21 @@
-//! The simulation engine.
+//! The simulation engine: a deterministic virtual-time [`Transport`]
+//! underneath the shared [`tetrabft_engine::Engine`] loop.
+//!
+//! The simulator no longer owns any protocol-driving logic — timer
+//! generations, action dispatch, and the input mux live in
+//! `tetrabft-engine`. What remains here is purely the *environment*: a
+//! global virtual-time event queue, seeded link policies, metrics, and
+//! traces.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use tetrabft_engine::{Dest, Engine, Node, Time, TimerId, Transport, WireSize};
 use tetrabft_types::NodeId;
 
 use crate::metrics::Metrics;
-use crate::node::{Action, Context, Dest, Input, Node, TimerId, WireSize};
 use crate::policy::{LinkPolicy, Route, RouteEnv};
 use crate::queue::{EventKind, EventQueue};
-use crate::time::Time;
 use crate::trace::TraceEvent;
 
 /// A protocol output captured by the harness.
@@ -88,17 +94,18 @@ impl SimBuilder {
         M: WireSize + Clone + 'static,
         O: 'static,
     {
-        let nodes: Vec<_> = (0..self.n as u16).map(|i| make(NodeId(i))).collect();
+        let n = self.n;
+        let engines: Vec<_> =
+            (0..n as u16).map(|i| Engine::new(make(NodeId(i)), NodeId(i), n)).collect();
         let mut sim = Sim {
-            n: self.n,
-            nodes,
+            n,
+            engines,
             policy: self.policy,
             rng: StdRng::seed_from_u64(self.seed),
             queue: EventQueue::new(),
             now: Time::ZERO,
-            timer_gen: vec![std::collections::HashMap::new(); self.n],
             outputs: Vec::new(),
-            metrics: Metrics::new(self.n),
+            metrics: Metrics::new(n),
             trace: self.record_trace.then(Vec::new),
             started: false,
         };
@@ -107,27 +114,113 @@ impl SimBuilder {
     }
 }
 
-/// A running simulation over `n` protocol state machines.
+/// The virtual-time transport: routes sends through the link policy into
+/// the global event queue, queues timer firings with their generation tag,
+/// and records outputs. One instance is materialized per dispatch, borrowing
+/// the simulation's shared state on behalf of the dispatching node.
+struct SimTransport<'a, M, O> {
+    me: NodeId,
+    n: usize,
+    now: Time,
+    queue: &'a mut EventQueue<M>,
+    policy: &'a mut LinkPolicy,
+    rng: &'a mut StdRng,
+    metrics: &'a mut Metrics,
+    trace: Option<&'a mut Vec<TraceEvent<M>>>,
+    outputs: &'a mut Vec<OutputRecord<O>>,
+}
+
+impl<M: WireSize + Clone, O> SimTransport<'_, M, O> {
+    fn route(&mut self, to: NodeId, msg: M) {
+        let from = self.me;
+        if from == to {
+            // Loopback: instantaneous, free, and lossless.
+            if let Some(trace) = self.trace.as_deref_mut() {
+                trace.push(TraceEvent::Sent { at: self.now, from, to, msg: msg.clone() });
+            }
+            self.queue.push(self.now, EventKind::Deliver { to, from, msg });
+            return;
+        }
+        let size = msg.wire_size();
+        self.metrics.on_send(from, size);
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.push(TraceEvent::Sent { at: self.now, from, to, msg: msg.clone() });
+        }
+        let env = RouteEnv { from, to, now: self.now, size };
+        match self.policy.route(env, self.rng) {
+            Route::DeliverAt(at) => {
+                let at = at.max(self.now);
+                self.queue.push(at, EventKind::Deliver { to, from, msg });
+            }
+            Route::Drop => {
+                self.metrics.msgs_dropped += 1;
+                if let Some(trace) = self.trace.as_deref_mut() {
+                    trace.push(TraceEvent::Dropped { at: self.now, from, to });
+                }
+            }
+        }
+    }
+}
+
+impl<M: WireSize + Clone, O> Transport<M, O> for SimTransport<'_, M, O> {
+    fn send(&mut self, dest: Dest, msg: M) {
+        match dest {
+            Dest::All => {
+                for to in 0..self.n as u16 {
+                    self.route(NodeId(to), msg.clone());
+                }
+            }
+            Dest::Node(to) => self.route(to, msg),
+        }
+    }
+
+    fn arm_timer(&mut self, id: TimerId, generation: u64, after: u64) {
+        self.queue.push(self.now + after, EventKind::Timer { node: self.me, id, generation });
+    }
+
+    fn deliver_output(&mut self, out: O) {
+        self.outputs.push(OutputRecord { node: self.me, time: self.now, output: out });
+    }
+}
+
+/// A running simulation over `n` protocol state machines, each wrapped in
+/// a [`tetrabft_engine::Engine`].
 ///
 /// Drive it with [`Sim::step`], [`Sim::run_until`], or
 /// [`Sim::run_until_quiet`]; inspect results via [`Sim::outputs`],
 /// [`Sim::metrics`], and [`Sim::trace`].
 pub struct Sim<M, O> {
     n: usize,
-    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    engines: Vec<Engine<Box<dyn Node<Msg = M, Output = O>>>>,
     policy: LinkPolicy,
     rng: StdRng,
     queue: EventQueue<M>,
     now: Time,
-    // Timer generations: SetTimer bumps the generation; a firing event with
-    // a stale generation is ignored. This implements replace/cancel. Entries
-    // are never removed — generations must stay monotone for the whole run,
-    // or a re-armed timer could resurrect an orphaned queued firing.
-    timer_gen: Vec<std::collections::HashMap<TimerId, u64>>,
     outputs: Vec<OutputRecord<O>>,
     metrics: Metrics,
     trace: Option<Vec<TraceEvent<M>>>,
     started: bool,
+}
+
+/// Splits a `Sim`'s fields into the dispatching node's engine plus a
+/// `SimTransport` borrowing everything else — a macro because a `&mut
+/// self` helper method could not hand out the engine and the transport's
+/// disjoint field borrows at once.
+macro_rules! engine_and_transport {
+    ($sim:expr, $node:expr) => {{
+        let transport = SimTransport {
+            me: $node,
+            n: $sim.n,
+            now: $sim.now,
+            queue: &mut $sim.queue,
+            policy: &mut $sim.policy,
+            rng: &mut $sim.rng,
+            metrics: &mut $sim.metrics,
+            trace: $sim.trace.as_mut(),
+            outputs: &mut $sim.outputs,
+        };
+        (&mut $sim.engines[$node.index()], transport)
+    }};
 }
 
 impl<M: WireSize + Clone, O> Sim<M, O> {
@@ -135,7 +228,9 @@ impl<M: WireSize + Clone, O> Sim<M, O> {
         assert!(!self.started);
         self.started = true;
         for i in 0..self.n {
-            self.dispatch(NodeId(i as u16), Input::Start);
+            self.metrics.events_processed += 1;
+            let (engine, mut transport) = engine_and_transport!(self, NodeId(i as u16));
+            engine.start(self.now, &mut transport);
         }
     }
 
@@ -164,6 +259,13 @@ impl<M: WireSize + Clone, O> Sim<M, O> {
         self.queue.len()
     }
 
+    /// Virtual time of the earliest queued event, if any — what the next
+    /// [`Sim::step`] would advance to. Lets embedders (the sharded runner)
+    /// interleave several simulations deterministically.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek_time()
+    }
+
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&[TraceEvent<M>]> {
         self.trace.as_deref()
@@ -172,7 +274,7 @@ impl<M: WireSize + Clone, O> Sim<M, O> {
     /// Mutable access to a node, for test inspection with downcasting done
     /// by the caller's concrete factory (prefer outputs/metrics in tests).
     pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node<Msg = M, Output = O> {
-        &mut *self.nodes[id.index()]
+        &mut **self.engines[id.index()].node_mut()
     }
 
     /// Processes one queued event. Returns `false` when the queue is empty.
@@ -188,14 +290,16 @@ impl<M: WireSize + Clone, O> Sim<M, O> {
                 if let Some(trace) = &mut self.trace {
                     trace.push(TraceEvent::Delivered { at: self.now, from, to, msg: msg.clone() });
                 }
-                self.dispatch(to, Input::Deliver { from, msg });
+                self.metrics.events_processed += 1;
+                let (engine, mut transport) = engine_and_transport!(self, to);
+                engine.on_deliver(from, msg, self.now, &mut transport);
             }
             EventKind::Timer { node, id, generation } => {
-                // Only the newest arming fires; at most one queued event can
-                // carry the current generation, so no removal is needed.
-                let live = self.timer_gen[node.index()].get(&id) == Some(&generation);
-                if live {
-                    self.dispatch(node, Input::Timer { id });
+                // The engine filters stale generations; at most one queued
+                // event can carry the current one, so no removal is needed.
+                let (engine, mut transport) = engine_and_transport!(self, node);
+                if engine.on_timer(id, generation, self.now, &mut transport) {
+                    self.metrics.events_processed += 1;
                 }
             }
         }
@@ -238,74 +342,6 @@ impl<M: WireSize + Clone, O> Sim<M, O> {
         }
         self.outputs.len() >= count
     }
-
-    fn dispatch(&mut self, id: NodeId, input: Input<M>) {
-        self.metrics.events_processed += 1;
-        let mut effects = Vec::new();
-        {
-            let mut ctx = Context { me: id, n: self.n, now: self.now, effects: &mut effects };
-            self.nodes[id.index()].handle(input, &mut ctx);
-        }
-        for effect in effects {
-            self.apply(id, effect);
-        }
-    }
-
-    fn apply(&mut self, id: NodeId, effect: Action<M, O>) {
-        match effect {
-            Action::Send { dest, msg } => match dest {
-                Dest::All => {
-                    for to in 0..self.n as u16 {
-                        self.route(id, NodeId(to), msg.clone());
-                    }
-                }
-                Dest::Node(to) => self.route(id, to, msg),
-            },
-            Action::SetTimer { id: timer, after } => {
-                let gen = self.timer_gen[id.index()].entry(timer).or_insert(0);
-                *gen += 1;
-                let generation = *gen;
-                self.queue
-                    .push(self.now + after, EventKind::Timer { node: id, id: timer, generation });
-            }
-            Action::CancelTimer { id: timer } => {
-                // Bumping the generation orphans any queued firing.
-                *self.timer_gen[id.index()].entry(timer).or_insert(0) += 1;
-            }
-            Action::Output(output) => {
-                self.outputs.push(OutputRecord { node: id, time: self.now, output });
-            }
-        }
-    }
-
-    fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
-        if from == to {
-            // Loopback: instantaneous, free, and lossless.
-            if let Some(trace) = &mut self.trace {
-                trace.push(TraceEvent::Sent { at: self.now, from, to, msg: msg.clone() });
-            }
-            self.queue.push(self.now, EventKind::Deliver { to, from, msg });
-            return;
-        }
-        let size = msg.wire_size();
-        self.metrics.on_send(from, size);
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::Sent { at: self.now, from, to, msg: msg.clone() });
-        }
-        let env = RouteEnv { from, to, now: self.now, size };
-        match self.policy.route(env, &mut self.rng) {
-            Route::DeliverAt(at) => {
-                let at = at.max(self.now);
-                self.queue.push(at, EventKind::Deliver { to, from, msg });
-            }
-            Route::Drop => {
-                self.metrics.msgs_dropped += 1;
-                if let Some(trace) = &mut self.trace {
-                    trace.push(TraceEvent::Dropped { at: self.now, from, to });
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -313,6 +349,7 @@ mod tests {
     use super::*;
     use crate::actors::{FnNode, SilentNode};
     use crate::policy::LinkPolicy;
+    use tetrabft_engine::Input;
 
     #[derive(Clone, Debug, PartialEq)]
     struct Msg(u64);
@@ -365,7 +402,7 @@ mod tests {
                     ctx.set_timer(TimerId(7), 10);
                     ctx.set_timer(TimerId(7), 3); // replaces the first arming
                 }
-                Input::Timer { id } => ctx.output(id.0 as u64 + ctx.now().0),
+                Input::Timer { id } => ctx.output(id.0 + ctx.now().0),
                 _ => {}
             })
         });

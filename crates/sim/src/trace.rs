@@ -2,7 +2,7 @@
 
 use tetrabft_types::NodeId;
 
-use crate::time::Time;
+use tetrabft_engine::Time;
 
 /// One traced network event.
 ///

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 let mut node = MultiShotNode::new(cfg, Params::new(30), id);
                 for k in 0..5 {
-                    node.submit_tx(format!("transfer #{k} from {id}").into_bytes());
+                    node.submit_tx(format!("transfer #{k} from {id}").into_bytes()).unwrap();
                 }
                 Box::new(node)
             }

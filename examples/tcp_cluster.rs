@@ -24,11 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     drop(cluster);
 
     println!("\n— multi-shot blockchain over TCP —");
-    let mut chain_cluster = Cluster::spawn(4, |id| {
-        let mut node = MultiShotNode::new(cfg, Params::new(300), id);
-        node.submit_tx(format!("genesis-tx-{id}").into_bytes());
-        node
-    })?;
+    let (mut chain_cluster, submitters) =
+        Cluster::spawn_submitting(4, |id| MultiShotNode::new(cfg, Params::new(300), id))?;
+    // Client transactions enter the running cluster through the engine's
+    // submit mux — the same channel deliveries and timer firings use.
+    for (i, handle) in submitters.iter().enumerate() {
+        handle.submit(format!("client-tx-{i}").into_bytes()).expect("cluster is live");
+    }
     let mut finalized = 0;
     while finalized < 12 {
         let (node, fin) = chain_cluster.next_output().expect("finalization");

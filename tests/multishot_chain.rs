@@ -109,7 +109,7 @@ fn liveness_every_nodes_transaction_lands() {
     let tx2 = tx.clone();
     let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build(move |id| {
         let mut node = MultiShotNode::new(cfg, Params::new(1_000), id);
-        node.submit_tx(tx2.clone());
+        node.submit_tx(tx2.clone()).unwrap();
         node
     });
     sim.run_until(Time(60));
@@ -124,12 +124,121 @@ fn liveness_every_nodes_transaction_lands() {
 }
 
 #[test]
+fn batching_liveness_lands_within_bounded_slots() {
+    // Stronger than eventual inclusion: with leaders rotating round-robin
+    // over n nodes, a tx queued at every node must appear within the first
+    // n slots (the first slot each node leads packs its FIFO head), on
+    // every node's finalized chain.
+    let n = 4;
+    let tx = b"bounded-latency-tx".to_vec();
+    let cfg = Config::new(n).unwrap();
+    let tx2 = tx.clone();
+    let mut sim = SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(move |id| {
+        let mut node = MultiShotNode::new(cfg, Params::new(1_000), id);
+        node.submit_tx(tx2.clone()).unwrap();
+        node
+    });
+    sim.run_until(Time(40));
+    for i in 0..n as u16 {
+        let slot = sim
+            .outputs()
+            .iter()
+            .filter(|o| o.node == NodeId(i))
+            .find(|o| o.output.block.txs.contains(&tx))
+            .map(|o| o.output.slot.0);
+        assert_eq!(slot, Some(1), "node {i}: slot 1's leader already queues the tx");
+    }
+}
+
+#[test]
+fn batch_drain_order_is_fifo_across_blocks() {
+    // Node 0 queues 40 txs with max_block_txs = 8: its leadership slots
+    // must drain them in submission order, 8 per block, across several of
+    // its blocks — no reordering at the batching boundary.
+    let n = 4;
+    let cfg = Config::new(n).unwrap();
+    let params = Params::new(1_000).with_max_block_txs(8);
+    let mut sim = SimBuilder::new(n).policy(LinkPolicy::synchronous(1)).build(move |id| {
+        let mut node = MultiShotNode::new(cfg, params, id);
+        if id == NodeId(0) {
+            for k in 0..40u32 {
+                node.submit_tx(format!("fifo-{k:03}").into_bytes()).unwrap();
+            }
+        }
+        node
+    });
+    sim.run_until(Time(80));
+    // Under synchrony every block stays in view 0, so slot s's proposer is
+    // leader_of(s, view 0); collect node 0's blocks in slot order.
+    let drained: Vec<Vec<u8>> = sim
+        .outputs()
+        .iter()
+        .filter(|o| o.node == NodeId(0))
+        .filter(|o| MultiShotNode::leader_of(&cfg, o.output.slot, View(0)) == NodeId(0))
+        .flat_map(|o| o.output.block.txs.clone())
+        .collect();
+    let expected: Vec<Vec<u8>> = (0..40u32).map(|k| format!("fifo-{k:03}").into_bytes()).collect();
+    assert_eq!(drained, expected, "txs must finalize in submission order");
+    let full_blocks = sim
+        .outputs()
+        .iter()
+        .filter(|o| o.node == NodeId(0) && o.output.block.txs.len() == 8)
+        .count();
+    assert_eq!(full_blocks, 5, "40 txs at 8 per block fill exactly 5 blocks");
+}
+
+#[test]
+fn admitted_txs_survive_lost_view_changes() {
+    // Tx durability: node 0's outbound messages are blackholed until
+    // t=200, while it still *hears* everyone. Its led slots keep getting
+    // proposed locally (draining mempool batches into blocks nobody
+    // receives), view-change away, and finalize under other leaders —
+    // each time, the drained batch must return to node 0's mempool, so
+    // that once its link heals every admitted tx still reaches the chain.
+    use tetrabft_suite::sim::{LinkPolicy, Route};
+    let n = 4;
+    let cfg = Config::new(n).unwrap();
+    let policy = LinkPolicy::scripted(|env, _| {
+        if env.from == NodeId(0) && env.now < Time(200) {
+            Route::Drop
+        } else {
+            Route::DeliverAt(env.now + 1)
+        }
+    });
+    let txs: Vec<Vec<u8>> = (0..10).map(|k| format!("durable-{k}").into_bytes()).collect();
+    let txs2 = txs.clone();
+    let mut sim = SimBuilder::new(n).policy(policy).build(move |id| {
+        let mut node = MultiShotNode::new(cfg, Params::new(5).with_max_block_txs(4), id);
+        if id == NodeId(0) {
+            for tx in &txs2 {
+                node.submit_tx(tx.clone()).unwrap();
+            }
+        }
+        node
+    });
+    sim.run_until(Time(800));
+    let finalized: Vec<Vec<u8>> = sim
+        .outputs()
+        .iter()
+        .filter(|o| o.node == NodeId(1))
+        .flat_map(|o| o.output.block.txs.clone())
+        .collect();
+    for tx in &txs {
+        assert!(
+            finalized.contains(tx),
+            "tx {:?} was admitted but never finalized — lost with a defeated proposal",
+            String::from_utf8_lossy(tx)
+        );
+    }
+}
+
+#[test]
 fn blocks_carry_distinct_payloads_per_slot() {
     let cfg = Config::new(4).unwrap();
     let mut sim = SimBuilder::new(4).policy(LinkPolicy::synchronous(1)).build(move |id| {
         let mut node = MultiShotNode::new(cfg, Params::new(1_000), id);
         for k in 0..100 {
-            node.submit_tx(format!("{id}-{k}").into_bytes());
+            node.submit_tx(format!("{id}-{k}").into_bytes()).unwrap();
         }
         node
     });
