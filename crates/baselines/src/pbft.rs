@@ -561,8 +561,10 @@ mod tests {
                 .map(|i| VcRecord { node: NodeId(i as u16), prepared: None, cert: cert.clone() })
                 .collect(),
         };
-        assert!(vc.wire_size() > n * 18, "view-change must be O(n)");
-        assert!(nv.wire_size() > n * n * 18, "new-view must be O(n²)");
+        // Under wire format v2 a PrepareRecord costs ≥ 10 bytes (varint
+        // node + varint view + 8-byte value); the scaling is what matters.
+        assert!(vc.wire_size() > n * 10, "view-change must be O(n)");
+        assert!(nv.wire_size() > n * n * 10, "new-view must be O(n²)");
     }
 
     #[test]

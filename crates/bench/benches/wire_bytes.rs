@@ -1,0 +1,183 @@
+//! **Wire format v2 — measured bytes on the wire.** The paper's efficiency
+//! headline is communication-optimal view changes (O(n) bytes per node per
+//! view); this bench prices the *constant* in front of that O(n) by running
+//! the single-shot view-change scenario at n ∈ {4, 8, 16} and accounting
+//! every sent message under both wire formats:
+//!
+//! * **v1** — the retired fixed-width layout (`tetrabft::wire_v1`);
+//! * **v2** — varint kernel integers + delta-compressed suggest/proof
+//!   payloads with a presence bitmap (the live codec).
+//!
+//! Per-phase v2 bytes come from the simulator's per-kind [`Metrics`]
+//! counters; v1 bytes re-encode the identical traffic from the recorded
+//! trace. The run asserts v2 cuts total view-change bytes (suggest + proof
+//! + view-change) by ≥ 35% at n = 16 — in smoke mode too.
+//!
+//! Set `TETRABFT_BENCH_SMOKE=1` for the CI smoke run (n ∈ {4, 16}).
+
+use std::collections::BTreeMap;
+
+use tetrabft::{wire_v1, Message, Params, SuggestData, TetraNode};
+use tetrabft_bench::print_table;
+use tetrabft_sim::{LinkPolicy, Metrics, SilentNode, SimBuilder, TraceEvent};
+use tetrabft_types::{Config, NodeId, Phase, Value, View, VoteInfo};
+use tetrabft_wire::Wire;
+
+/// The phases whose bytes the O(n)-per-node view-change claim is about.
+const VIEW_CHANGE_KINDS: [&str; 3] = ["suggest", "proof", "view-change"];
+
+fn smoke() -> bool {
+    std::env::var_os("TETRABFT_BENCH_SMOKE").is_some()
+}
+
+/// v1 and v2 byte totals for one message kind on identical traffic.
+#[derive(Debug, Clone, Copy, Default)]
+struct KindBytes {
+    msgs: u64,
+    v1: u64,
+    v2: u64,
+}
+
+/// Runs the crashed-leader view-change scenario and accounts every
+/// non-loopback send under both wire formats.
+fn run_view_change(n: usize) -> (BTreeMap<&'static str, KindBytes>, Metrics) {
+    let cfg = Config::new(n).expect("valid n");
+    let mut sim = SimBuilder::new(n)
+        .policy(LinkPolicy::synchronous(1))
+        .record_trace(true)
+        .build_boxed(move |id| {
+            if id == NodeId(0) {
+                Box::new(SilentNode::new())
+            } else {
+                Box::new(TetraNode::new(cfg, Params::new(10), id, Value::from_u64(id.0 as u64 + 1)))
+            }
+        });
+    assert!(sim.run_until_outputs(n - 1, 50_000_000), "view change must decide at n={n}");
+
+    let mut by_kind: BTreeMap<&'static str, KindBytes> = BTreeMap::new();
+    for event in sim.trace().expect("trace enabled") {
+        let TraceEvent::Sent { from, to, msg, .. } = event else { continue };
+        if from == to {
+            continue; // loopback is free, exactly as in Metrics
+        }
+        let e = by_kind.entry(msg.kind()).or_default();
+        e.msgs += 1;
+        e.v1 += wire_v1::wire_len(msg) as u64;
+        e.v2 += msg.wire_len() as u64;
+    }
+
+    // The trace-derived v2 totals must agree with the metrics counters —
+    // the same numbers every other communication experiment reports.
+    let metrics = sim.metrics().clone();
+    for (kind, bytes) in &by_kind {
+        let counted = metrics.kind(kind);
+        assert_eq!(counted.bytes, bytes.v2, "metrics vs trace mismatch for {kind}");
+        assert_eq!(counted.msgs, bytes.msgs, "message count mismatch for {kind}");
+    }
+    let trace_total: u64 = by_kind.values().map(|b| b.v2).sum();
+    assert_eq!(trace_total, metrics.total_bytes_sent(), "metrics vs trace total mismatch");
+
+    (by_kind, metrics)
+}
+
+fn pct_cut(v1: u64, v2: u64) -> f64 {
+    100.0 * (1.0 - v2 as f64 / v1 as f64)
+}
+
+/// Per-message sizes of representative protocol messages — the README's
+/// byte-level table.
+fn per_message_table() {
+    let vi = |view: u64, val: u64| VoteInfo::new(View(view), Value::from_u64(val));
+    let samples: Vec<(&str, Message)> = vec![
+        ("proposal (view 1)", Message::Proposal { view: View(1), value: Value::from_u64(7) }),
+        (
+            "vote (any phase, view 1)",
+            Message::Vote { phase: Phase::VOTE2, view: View(1), value: Value::from_u64(7) },
+        ),
+        ("view-change (view 1)", Message::ViewChange { view: View(1) }),
+        (
+            "suggest, no prior votes",
+            Message::Suggest { view: View(1), data: SuggestData::default() },
+        ),
+        (
+            "suggest, 3 prior votes",
+            Message::Suggest {
+                view: View(5),
+                data: SuggestData {
+                    vote2: Some(vi(4, 1)),
+                    prev_vote2: Some(vi(2, 2)),
+                    vote3: Some(vi(4, 1)),
+                },
+            },
+        ),
+    ];
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|(name, msg)| {
+            let v1 = wire_v1::wire_len(msg) as u64;
+            let v2 = msg.wire_len() as u64;
+            vec![
+                (*name).to_string(),
+                v1.to_string(),
+                v2.to_string(),
+                format!("{:.0}%", pct_cut(v1, v2)),
+            ]
+        })
+        .collect();
+    print_table("Per-message sizes (bytes)", &["message", "v1", "v2", "cut"], &rows);
+}
+
+fn main() {
+    let sizes: &[usize] = if smoke() { &[4, 16] } else { &[4, 8, 16] };
+
+    per_message_table();
+
+    let mut reduction_at_16 = None;
+    for &n in sizes {
+        let (by_kind, metrics) = run_view_change(n);
+        let rows: Vec<Vec<String>> = by_kind
+            .iter()
+            .map(|(kind, b)| {
+                vec![
+                    (*kind).to_string(),
+                    b.msgs.to_string(),
+                    b.v1.to_string(),
+                    b.v2.to_string(),
+                    format!("{:.0}%", pct_cut(b.v1, b.v2)),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Per-phase bytes, crashed-leader view change, n={n} \
+                 (total v2 on the wire: {} B, max/node {} B)",
+                metrics.total_bytes_sent(),
+                metrics.max_node_bytes_sent()
+            ),
+            &["phase", "msgs", "v1 bytes", "v2 bytes", "cut"],
+            &rows,
+        );
+
+        let (vc1, vc2) = VIEW_CHANGE_KINDS.iter().fold((0u64, 0u64), |(a, b), kind| {
+            let e = by_kind.get(kind).copied().unwrap_or_default();
+            (a + e.v1, b + e.v2)
+        });
+        let (t1, t2) = by_kind.values().fold((0u64, 0u64), |(a, b), e| (a + e.v1, b + e.v2));
+        println!(
+            "\nn={n}: view-change traffic {vc1} → {vc2} B ({:.1}% cut); \
+             all traffic {t1} → {t2} B ({:.1}% cut)",
+            pct_cut(vc1, vc2),
+            pct_cut(t1, t2),
+        );
+        if n == 16 {
+            reduction_at_16 = Some(pct_cut(vc1, vc2));
+        }
+    }
+
+    let reduction = reduction_at_16.expect("n=16 always runs");
+    assert!(
+        reduction >= 35.0,
+        "wire format v2 must cut view-change bytes by ≥ 35% at n=16 (got {reduction:.1}%)"
+    );
+    println!("\nv2 view-change byte cut at n=16: {reduction:.1}% (required ≥ 35%)");
+}

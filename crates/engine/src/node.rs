@@ -11,6 +11,14 @@ use crate::time::Time;
 pub trait WireSize {
     /// Encoded size in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Coarse phase label for per-kind byte accounting ("proposal",
+    /// "vote-1", "suggest", …). The simulator's metrics bucket traffic by
+    /// this label; the default lumps everything together, which is fine
+    /// for test doubles.
+    fn wire_kind(&self) -> &'static str {
+        "message"
+    }
 }
 
 /// Identifier of a protocol timer, chosen by the protocol.

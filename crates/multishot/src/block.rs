@@ -99,23 +99,27 @@ impl Wire for Block {
     fn encode(&self, w: &mut Writer) {
         self.slot.encode(w);
         self.parent.encode(w);
-        w.put_u32(self.txs.len() as u32);
+        w.put_varint(self.txs.len() as u64);
         for tx in &self.txs {
-            w.put_u32(tx.len() as u32);
+            w.put_varint(tx.len() as u64);
             w.put_slice(tx);
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let slot = Slot::decode(r)?;
         let parent = BlockHash::decode(r)?;
-        let count = r.get_u32()? as usize;
+        // Compare before narrowing so 32-bit targets reject the same
+        // hostile counts 64-bit ones do.
+        let declared = r.get_varint_u64()?;
         const MAX_TXS: usize = 1 << 16;
-        if count > MAX_TXS {
-            return Err(WireError::LengthOverflow { declared: count, limit: MAX_TXS });
+        if declared > MAX_TXS as u64 {
+            let declared = usize::try_from(declared).unwrap_or(usize::MAX);
+            return Err(WireError::LengthOverflow { declared, limit: MAX_TXS });
         }
+        let count = declared as usize;
         let mut txs = Vec::with_capacity(count.min(r.remaining()));
         for _ in 0..count {
-            let len = r.get_u32()? as usize;
+            let len = r.get_varint_u32()? as usize;
             txs.push(r.get_slice(len)?.to_vec());
         }
         Ok(Block { slot, parent, txs })
@@ -169,7 +173,18 @@ mod tests {
         let mut w = Writer::new();
         Slot(1).encode(&mut w);
         GENESIS_HASH.encode(&mut w);
-        w.put_u32(u32::MAX);
+        w.put_varint(u64::from(u32::MAX));
         assert!(matches!(Block::from_bytes(w.as_bytes()), Err(WireError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn hostile_tx_len_rejected() {
+        // A single tx declaring a 2^40-byte body must fail cleanly.
+        let mut w = Writer::new();
+        Slot(1).encode(&mut w);
+        GENESIS_HASH.encode(&mut w);
+        w.put_varint(1);
+        w.put_varint(1 << 40);
+        assert!(Block::from_bytes(w.as_bytes()).is_err());
     }
 }

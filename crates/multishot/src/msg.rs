@@ -97,13 +97,13 @@ impl Wire for MsMessage {
                 w.put_u8(TAG_SUGGEST);
                 slot.encode(w);
                 view.encode(w);
-                data.encode(w);
+                data.encode_with_base(*view, w);
             }
             MsMessage::Proof { slot, view, data } => {
                 w.put_u8(TAG_PROOF);
                 slot.encode(w);
                 view.encode(w);
-                data.encode(w);
+                data.encode_with_base(*view, w);
             }
             MsMessage::ViewChange { slot, view } => {
                 w.put_u8(TAG_VIEW_CHANGE);
@@ -123,16 +123,16 @@ impl Wire for MsMessage {
                 view: View::decode(r)?,
                 hash: BlockHash::decode(r)?,
             }),
-            TAG_SUGGEST => Ok(MsMessage::Suggest {
-                slot: Slot::decode(r)?,
-                view: View::decode(r)?,
-                data: SuggestData::decode(r)?,
-            }),
-            TAG_PROOF => Ok(MsMessage::Proof {
-                slot: Slot::decode(r)?,
-                view: View::decode(r)?,
-                data: ProofData::decode(r)?,
-            }),
+            TAG_SUGGEST => {
+                let slot = Slot::decode(r)?;
+                let view = View::decode(r)?;
+                Ok(MsMessage::Suggest { slot, view, data: SuggestData::decode_with_base(view, r)? })
+            }
+            TAG_PROOF => {
+                let slot = Slot::decode(r)?;
+                let view = View::decode(r)?;
+                Ok(MsMessage::Proof { slot, view, data: ProofData::decode_with_base(view, r)? })
+            }
             TAG_VIEW_CHANGE => {
                 Ok(MsMessage::ViewChange { slot: Slot::decode(r)?, view: View::decode(r)? })
             }
@@ -144,6 +144,71 @@ impl Wire for MsMessage {
 impl WireSize for MsMessage {
     fn wire_size(&self) -> usize {
         self.wire_len()
+    }
+    fn wire_kind(&self) -> &'static str {
+        self.kind()
+    }
+}
+
+/// Wire format **v1** for multi-shot messages — encoder only, retained so
+/// the `wire_bytes` bench can price both formats on identical traffic.
+/// Fixed-width layout: `Slot`/`View`/`BlockHash` as big-endian `u64`s,
+/// block transaction counts and lengths as `u32`s, suggest/proof payloads
+/// via [`tetrabft::wire_v1`].
+pub mod v1 {
+    use super::{Block, MsMessage};
+    use tetrabft::wire_v1;
+    use tetrabft_wire::Writer;
+
+    fn encode_block(block: &Block, w: &mut Writer) {
+        w.put_u64(block.slot.0);
+        w.put_u64(block.parent.0);
+        w.put_u32(block.txs.len() as u32);
+        for tx in &block.txs {
+            w.put_u32(tx.len() as u32);
+            w.put_slice(tx);
+        }
+    }
+
+    /// Appends the v1 encoding of `msg` to `w`.
+    pub fn encode(msg: &MsMessage, w: &mut Writer) {
+        match msg {
+            MsMessage::Proposal { view, block } => {
+                w.put_u8(super::TAG_PROPOSAL);
+                w.put_u64(view.0);
+                encode_block(block, w);
+            }
+            MsMessage::Vote { slot, view, hash } => {
+                w.put_u8(super::TAG_VOTE);
+                w.put_u64(slot.0);
+                w.put_u64(view.0);
+                w.put_u64(hash.0);
+            }
+            MsMessage::Suggest { slot, view, data } => {
+                w.put_u8(super::TAG_SUGGEST);
+                w.put_u64(slot.0);
+                w.put_u64(view.0);
+                wire_v1::encode_suggest_data(data, w);
+            }
+            MsMessage::Proof { slot, view, data } => {
+                w.put_u8(super::TAG_PROOF);
+                w.put_u64(slot.0);
+                w.put_u64(view.0);
+                wire_v1::encode_proof_data(data, w);
+            }
+            MsMessage::ViewChange { slot, view } => {
+                w.put_u8(super::TAG_VIEW_CHANGE);
+                w.put_u64(slot.0);
+                w.put_u64(view.0);
+            }
+        }
+    }
+
+    /// Number of bytes `msg` occupied under wire format v1.
+    pub fn wire_len(msg: &MsMessage) -> usize {
+        let mut w = Writer::new();
+        encode(msg, &mut w);
+        w.len()
     }
 }
 
@@ -183,8 +248,51 @@ mod tests {
 
     #[test]
     fn votes_are_tiny() {
-        // Good-case traffic is votes; they must be O(1) and small.
+        // Good-case traffic is votes; they must be O(1) and small. Under
+        // v2 a realistic vote is tag + slot + view + 8-byte hash = 11 B.
         let v = MsMessage::Vote { slot: Slot(9), view: View(0), hash: BlockHash(1) };
-        assert!(v.wire_len() <= 32);
+        assert_eq!(v.wire_len(), 11);
+        assert_eq!(v1::wire_len(&v), 25);
+    }
+
+    #[test]
+    fn suggest_proof_roundtrip_with_votes() {
+        use tetrabft_types::{Value, VoteInfo};
+        let vote = |view: u64| Some(VoteInfo::new(View(view), Value::from_u64(9)));
+        roundtrip(MsMessage::Suggest {
+            slot: Slot(40),
+            view: View(3),
+            data: SuggestData { vote2: vote(2), prev_vote2: None, vote3: vote(u64::MAX) },
+        });
+        roundtrip(MsMessage::Proof {
+            slot: Slot(7),
+            view: View(1),
+            data: ProofData { vote1: vote(0), prev_vote1: vote(1), vote4: None },
+        });
+    }
+
+    #[test]
+    fn v2_never_loses_to_v1_on_protocol_traffic() {
+        use tetrabft_types::{Value, VoteInfo};
+        let msgs = [
+            MsMessage::Proposal {
+                view: View(1),
+                block: Block::new(Slot(3), GENESIS_HASH, vec![b"tx".to_vec(); 4]),
+            },
+            MsMessage::Vote { slot: Slot(100), view: View(2), hash: BlockHash(u64::MAX) },
+            MsMessage::Suggest {
+                slot: Slot(9),
+                view: View(4),
+                data: SuggestData {
+                    vote2: Some(VoteInfo::new(View(3), Value::from_u64(5))),
+                    prev_vote2: None,
+                    vote3: None,
+                },
+            },
+            MsMessage::ViewChange { slot: Slot(9), view: View(4) },
+        ];
+        for m in msgs {
+            assert!(m.wire_len() < v1::wire_len(&m), "{}: v2 must shrink {m:?}", m.kind());
+        }
     }
 }

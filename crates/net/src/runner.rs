@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 
 use tetrabft_engine::{Dest, Engine, Node, Submitter, Time, TimerId, Transport};
 use tetrabft_types::NodeId;
-use tetrabft_wire::frame::{encode_frame, FrameDecoder};
-use tetrabft_wire::Wire;
+use tetrabft_wire::frame::{encode_frame_into, FrameDecoder};
+use tetrabft_wire::{Wire, Writer};
 
 /// Internal events multiplexed into the node's single-threaded loop.
 enum Event<M, R> {
@@ -108,25 +108,48 @@ struct TcpTransport<'a, M, R, O> {
     events: &'a mpsc::Sender<Event<M, R>>,
     timers: &'a mpsc::Sender<Arming>,
     outputs: &'a mpsc::Sender<(NodeId, O)>,
+    /// Scratch encoder reused across sends: payload bytes land here, then
+    /// are framed straight into the one outbound allocation per message.
+    scratch: &'a mut Writer,
+}
+
+impl<M: Wire, R, O> TcpTransport<'_, M, R, O> {
+    /// Encodes `msg` into a varint-length-prefixed frame, or `None` if the
+    /// payload exceeds the frame limit. Oversize payloads are dropped at
+    /// this boundary — a lost message the protocol recovers from via view
+    /// change — instead of panicking the node thread as v1 framing did.
+    fn frame(&mut self, msg: &M) -> Option<Arc<Vec<u8>>> {
+        self.scratch.clear();
+        msg.encode(self.scratch);
+        let mut framed = Vec::with_capacity(self.scratch.len() + 3);
+        match encode_frame_into(self.scratch.as_bytes(), &mut framed) {
+            Ok(()) => Some(Arc::new(framed)),
+            Err(_) => None,
+        }
+    }
 }
 
 impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
     fn send(&mut self, dest: Dest, msg: M) {
-        let bytes = Arc::new(encode_frame(&msg.to_bytes()));
         match dest {
             Dest::All => {
-                for tx in self.writers.values() {
-                    let _ = tx.send(Arc::clone(&bytes));
+                if let Some(bytes) = self.frame(&msg) {
+                    for tx in self.writers.values() {
+                        let _ = tx.send(Arc::clone(&bytes));
+                    }
                 }
-                // Loopback, like the simulator: instantaneous.
+                // Loopback, like the simulator: instantaneous (and exempt
+                // from the frame limit — it never touches a socket).
                 let _ = self.events.send(Event::Deliver { from: self.me, msg });
             }
             Dest::Node(to) if to == self.me => {
                 let _ = self.events.send(Event::Deliver { from: self.me, msg });
             }
             Dest::Node(to) => {
-                if let Some(tx) = self.writers.get(&to) {
-                    let _ = tx.send(bytes);
+                if let Some(bytes) = self.frame(&msg) {
+                    if let Some(tx) = self.writers.get(&to) {
+                        let _ = tx.send(bytes);
+                    }
                 }
             }
         }
@@ -281,6 +304,7 @@ where
     thread::spawn(move || {
         let start = Instant::now();
         let mut engine = Engine::new(node, me, n);
+        let mut scratch = Writer::new();
         let now = || Time(start.elapsed().as_millis() as u64);
 
         // Boot the state machine.
@@ -291,6 +315,7 @@ where
                 events: &loop_events,
                 timers: &timer_tx,
                 outputs: &outputs,
+                scratch: &mut scratch,
             };
             engine.start(now(), &mut transport);
         }
@@ -307,6 +332,7 @@ where
                 events: &loop_events,
                 timers: &timer_tx,
                 outputs: &outputs,
+                scratch: &mut scratch,
             };
             match event {
                 Event::Deliver { from, msg } => {
@@ -365,10 +391,11 @@ fn read_peer<M: Wire, R>(
             return Ok(());
         }
         decoder.extend(&buf[..read]);
+        // Frames are decoded zero-copy out of the decoder's buffer.
         while let Some(frame) =
             decoder.next_frame().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
         {
-            match M::from_bytes(&frame) {
+            match M::from_bytes(frame) {
                 Ok(msg) => {
                     if events.send(Event::Deliver { from, msg }).is_err() {
                         return Ok(()); // node shut down
@@ -385,18 +412,32 @@ fn read_peer<M: Wire, R>(
 
 fn write_peer(me: NodeId, addr: SocketAddr, rx: mpsc::Receiver<Arc<Vec<u8>>>) {
     // Dial with retry: peers boot in arbitrary order.
-    let mut stream = loop {
+    let stream = loop {
         match TcpStream::connect(addr) {
             Ok(s) => break s,
             Err(_) => thread::sleep(Duration::from_millis(20)),
         }
     };
     let _ = stream.set_nodelay(true);
-    if stream.write_all(&me.0.to_be_bytes()).is_err() {
+    // One buffered writer carries the handshake and every frame: the 2-byte
+    // hello coalesces into the first batch's syscall, and each drained batch
+    // of queued frames goes out as a single write + flush instead of one
+    // unbuffered write_all per message.
+    let mut writer = io::BufWriter::with_capacity(64 * 1024, stream);
+    if writer.write_all(&me.0.to_be_bytes()).is_err() {
         return;
     }
-    while let Ok(bytes) = rx.recv() {
-        if stream.write_all(&bytes).is_err() {
+    while let Ok(first) = rx.recv() {
+        if writer.write_all(&first).is_err() {
+            return;
+        }
+        // Drain whatever the node queued meanwhile, then flush the batch.
+        while let Ok(next) = rx.try_recv() {
+            if writer.write_all(&next).is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
             return;
         }
     }

@@ -73,7 +73,7 @@ mod runner;
 mod trace;
 
 pub use actors::{FnNode, SilentNode};
-pub use metrics::{Metrics, NodeMetrics};
+pub use metrics::{KindMetrics, Metrics, NodeMetrics};
 pub use policy::{LinkPolicy, Route, RouteEnv};
 pub use runner::{OutputRecord, Sim, SimBuilder};
 // The node abstraction and the engine loop live in `tetrabft-engine`; the

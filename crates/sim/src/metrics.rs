@@ -1,5 +1,7 @@
 //! Communication and progress metrics collected during a run.
 
+use std::collections::BTreeMap;
+
 use tetrabft_types::NodeId;
 
 /// Per-node communication counters.
@@ -24,21 +26,42 @@ pub struct NodeMetrics {
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     per_node: Vec<NodeMetrics>,
+    /// Bytes and message counts bucketed by the message's
+    /// [`wire_kind`](tetrabft_engine::WireSize::wire_kind) — the per-phase
+    /// view the `wire_bytes` bench reports (loopback excluded).
+    by_kind: BTreeMap<&'static str, KindMetrics>,
     /// Messages dropped by the link policy (pre-GST loss).
     pub msgs_dropped: u64,
     /// Total input events processed by all nodes.
     pub events_processed: u64,
 }
 
+/// Per-message-kind communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindMetrics {
+    /// Messages of this kind handed to the network.
+    pub msgs: u64,
+    /// Bytes of this kind handed to the network.
+    pub bytes: u64,
+}
+
 impl Metrics {
     pub(crate) fn new(n: usize) -> Self {
-        Metrics { per_node: vec![NodeMetrics::default(); n], msgs_dropped: 0, events_processed: 0 }
+        Metrics {
+            per_node: vec![NodeMetrics::default(); n],
+            by_kind: BTreeMap::new(),
+            msgs_dropped: 0,
+            events_processed: 0,
+        }
     }
 
-    pub(crate) fn on_send(&mut self, from: NodeId, bytes: usize) {
+    pub(crate) fn on_send(&mut self, from: NodeId, kind: &'static str, bytes: usize) {
         let m = &mut self.per_node[from.index()];
         m.msgs_sent += 1;
         m.bytes_sent += bytes as u64;
+        let k = self.by_kind.entry(kind).or_default();
+        k.msgs += 1;
+        k.bytes += bytes as u64;
     }
 
     pub(crate) fn on_deliver(&mut self, to: NodeId, bytes: usize) {
@@ -67,6 +90,16 @@ impl Metrics {
     pub fn max_node_bytes_sent(&self) -> u64 {
         self.per_node.iter().map(|m| m.bytes_sent).max().unwrap_or(0)
     }
+
+    /// Counters for one message kind (zero if the kind never hit the wire).
+    pub fn kind(&self, kind: &str) -> KindMetrics {
+        self.by_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// All per-kind counters, ordered by kind label.
+    pub fn by_kind(&self) -> impl Iterator<Item = (&'static str, KindMetrics)> + '_ {
+        self.by_kind.iter().map(|(k, v)| (*k, *v))
+    }
 }
 
 #[cfg(test)]
@@ -76,9 +109,9 @@ mod tests {
     #[test]
     fn accounting() {
         let mut m = Metrics::new(3);
-        m.on_send(NodeId(0), 10);
-        m.on_send(NodeId(0), 5);
-        m.on_send(NodeId(2), 100);
+        m.on_send(NodeId(0), "vote-1", 10);
+        m.on_send(NodeId(0), "vote-1", 5);
+        m.on_send(NodeId(2), "suggest", 100);
         m.on_deliver(NodeId(1), 10);
         assert_eq!(m.node(NodeId(0)).msgs_sent, 2);
         assert_eq!(m.node(NodeId(0)).bytes_sent, 15);
@@ -86,5 +119,10 @@ mod tests {
         assert_eq!(m.total_msgs_sent(), 3);
         assert_eq!(m.total_bytes_sent(), 115);
         assert_eq!(m.max_node_bytes_sent(), 100);
+        assert_eq!(m.kind("vote-1"), KindMetrics { msgs: 2, bytes: 15 });
+        assert_eq!(m.kind("suggest"), KindMetrics { msgs: 1, bytes: 100 });
+        assert_eq!(m.kind("proof"), KindMetrics::default());
+        let kinds: Vec<_> = m.by_kind().map(|(k, v)| (k, v.bytes)).collect();
+        assert_eq!(kinds, vec![("suggest", 100), ("vote-1", 15)]);
     }
 }

@@ -142,7 +142,7 @@ impl<M: WireSize + Clone, O> SimTransport<'_, M, O> {
             return;
         }
         let size = msg.wire_size();
-        self.metrics.on_send(from, size);
+        self.metrics.on_send(from, msg.wire_kind(), size);
         if let Some(trace) = self.trace.as_deref_mut() {
             trace.push(TraceEvent::Sent { at: self.now, from, to, msg: msg.clone() });
         }

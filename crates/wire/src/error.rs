@@ -31,6 +31,24 @@ pub enum WireError {
         /// Number of unconsumed bytes.
         remaining: usize,
     },
+    /// A varint used more bytes than its canonical (minimal) encoding.
+    ///
+    /// Overlong LEB128 paddings are rejected so every value has exactly one
+    /// wire representation — a malleability guard, not just pedantry.
+    VarintOverlong,
+    /// A varint encoded a value that does not fit its target type.
+    VarintOverflow {
+        /// Name of the integer type being decoded.
+        target: &'static str,
+    },
+    /// A frame payload exceeded [`MAX_FRAME_LEN`](crate::frame::MAX_FRAME_LEN)
+    /// at encode time.
+    FrameTooLarge {
+        /// The payload length.
+        len: usize,
+        /// The maximum the framer accepts.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -47,6 +65,15 @@ impl fmt::Display for WireError {
             }
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after value")
+            }
+            WireError::VarintOverlong => {
+                write!(f, "overlong (non-canonical) varint encoding")
+            }
+            WireError::VarintOverflow { target } => {
+                write!(f, "varint does not fit in {target}")
+            }
+            WireError::FrameTooLarge { len, limit } => {
+                write!(f, "frame payload of {len} bytes exceeds limit {limit}")
             }
         }
     }

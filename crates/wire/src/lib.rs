@@ -2,16 +2,23 @@
 //!
 //! An unauthenticated protocol's communication-complexity claims are stated
 //! in *bits on the wire*, so this reproduction controls its own byte layout
-//! instead of delegating to a general-purpose serializer. The codec is:
+//! instead of delegating to a general-purpose serializer. The codec — wire
+//! format v2 — is:
 //!
-//! * **explicit** — every field is written/read by hand, big-endian;
+//! * **explicit** — every field is written/read by hand: integer kernel
+//!   types ([`View`](tetrabft_types::View), [`Slot`](tetrabft_types::Slot),
+//!   [`NodeId`](tetrabft_types::NodeId)) and lengths are LEB128 varints,
+//!   hashes and values fixed-width big-endian;
 //! * **total** — decoding never panics; all failures are [`WireError`]s;
-//! * **strict** — [`from_bytes`](Wire::from_bytes) rejects trailing bytes.
+//! * **strict** — [`from_bytes`](Wire::from_bytes) rejects trailing bytes,
+//!   and varint decoding rejects overlong paddings, so every value has
+//!   exactly one accepted encoding.
 //!
 //! The [`Wire`] trait is implemented here for primitives and for the kernel
 //! types of [`tetrabft_types`]; protocol crates implement it for their
-//! message enums. [`frame`] provides the length-prefixed stream framing used
-//! by the TCP transport.
+//! message enums (delta-compressing view numbers against the message's own
+//! view where both ends share that context). [`frame`] provides the
+//! varint-length-prefixed stream framing used by the TCP transport.
 //!
 //! # Examples
 //!
@@ -35,7 +42,7 @@ mod writer;
 
 pub use error::WireError;
 pub use reader::Reader;
-pub use writer::Writer;
+pub use writer::{varint_len, Writer};
 
 /// Types that can be encoded to and decoded from the TetraBFT wire format.
 ///

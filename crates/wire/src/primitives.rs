@@ -1,4 +1,10 @@
 //! [`Wire`] implementations for primitives and kernel types.
+//!
+//! Wire format v2: the integer kernel types ([`View`], [`Slot`], [`NodeId`])
+//! and all sequence lengths are LEB128 varints, so realistic values cost one
+//! byte instead of their fixed width. The raw `uN` impls stay fixed-width
+//! big-endian — they are the explicit choice for uniformly-distributed
+//! payloads (hashes, [`Value`]) where a varint would *cost* bytes.
 
 use tetrabft_types::{NodeId, Phase, Slot, Value, View, VoteInfo};
 
@@ -82,16 +88,21 @@ impl<T: Wire> Wire for Option<T> {
 impl<T: Wire> Wire for Vec<T> {
     fn encode(&self, w: &mut Writer) {
         debug_assert!(self.len() <= MAX_SEQ_LEN, "sequence exceeds wire limit");
-        w.put_u32(self.len() as u32);
+        w.put_varint(self.len() as u64);
         for item in self {
             item.encode(w);
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let len = r.get_u32()? as usize;
-        if len > MAX_SEQ_LEN {
-            return Err(WireError::LengthOverflow { declared: len, limit: MAX_SEQ_LEN });
+        // Range-check in the u64 domain before narrowing: a cast-first
+        // check would truncate on 32-bit targets and let two builds of the
+        // same node disagree on which encodings are valid.
+        let declared = r.get_varint_u64()?;
+        if declared > MAX_SEQ_LEN as u64 {
+            let declared = usize::try_from(declared).unwrap_or(usize::MAX);
+            return Err(WireError::LengthOverflow { declared, limit: MAX_SEQ_LEN });
         }
+        let len = declared as usize;
         // Cap the pre-allocation by what the input could possibly hold, so a
         // hostile length prefix cannot force a huge allocation.
         let mut out = Vec::with_capacity(len.min(r.remaining()));
@@ -104,28 +115,28 @@ impl<T: Wire> Wire for Vec<T> {
 
 impl Wire for NodeId {
     fn encode(&self, w: &mut Writer) {
-        w.put_u16(self.0);
+        w.put_varint(u64::from(self.0));
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(NodeId(r.get_u16()?))
+        Ok(NodeId(r.get_varint_u16()?))
     }
 }
 
 impl Wire for View {
     fn encode(&self, w: &mut Writer) {
-        w.put_u64(self.0);
+        w.put_varint(self.0);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(View(r.get_u64()?))
+        Ok(View(r.get_varint_u64()?))
     }
 }
 
 impl Wire for Slot {
     fn encode(&self, w: &mut Writer) {
-        w.put_u64(self.0);
+        w.put_varint(self.0);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Slot(r.get_u64()?))
+        Ok(Slot(r.get_varint_u64()?))
     }
 }
 
@@ -216,10 +227,33 @@ mod tests {
 
     #[test]
     fn hostile_vec_length_is_rejected_without_allocation() {
-        // Declared length u32::MAX with a 4-byte body.
-        let bytes = u32::MAX.to_be_bytes();
+        // Declared length u32::MAX (varint) with no body.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0x0f];
         let err = Vec::<u64>::from_bytes(&bytes).unwrap_err();
         assert!(matches!(err, WireError::LengthOverflow { .. }));
+    }
+
+    #[test]
+    fn kernel_types_are_varint_sized() {
+        assert_eq!(View(0).wire_len(), 1);
+        assert_eq!(View(127).wire_len(), 1);
+        assert_eq!(View(128).wire_len(), 2);
+        assert_eq!(View(u64::MAX).wire_len(), 10);
+        assert_eq!(Slot(5).wire_len(), 1);
+        assert_eq!(NodeId(3).wire_len(), 1);
+        assert_eq!(NodeId(u16::MAX).wire_len(), 3);
+        // A realistic vote is view + value: 1 + 8 bytes, down from 16.
+        assert_eq!(VoteInfo::new(View(9), Value::from_u64(1)).wire_len(), 9);
+    }
+
+    #[test]
+    fn node_id_wider_than_u16_is_rejected() {
+        let mut w = Writer::new();
+        w.put_varint(1 << 16);
+        assert_eq!(
+            NodeId::from_bytes(w.as_bytes()),
+            Err(WireError::VarintOverflow { target: "u16" })
+        );
     }
 
     #[test]
