@@ -1,0 +1,222 @@
+//! **WAN responsiveness** — the headline claim measured on the
+//! fault-injecting network layer: TetraBFT commits at *network speed*
+//! (latency proportional to the actual per-hop delay δ), not at the
+//! pessimistic `9Δ` view timeout, even on WAN and geo-distributed
+//! latency matrices and across a partition heal.
+//!
+//! One declarative [`LinkPlan`] drives both runtimes: the deterministic
+//! simulator (one tick = 1 ms) prices the matrices exactly at n = 4..16,
+//! then real TCP clusters reproduce the same behavior in wall-clock time,
+//! and a partition-heal scenario must finalize right after the heal with
+//! no divergence between the sim and TCP runs.
+//!
+//! Set `TETRABFT_BENCH_SMOKE=1` for the CI smoke run (smaller n, fewer
+//! scenarios; every assertion still executes).
+
+use std::time::{Duration, Instant};
+
+use tetrabft::{Params, TetraNode};
+use tetrabft_bench::print_table;
+use tetrabft_net::{ClusterBuilder, EdgeSpec, LinkPlan, PartitionWindow};
+use tetrabft_sim::SimBuilder;
+use tetrabft_types::{Config, NodeId, Value};
+
+fn smoke() -> bool {
+    std::env::var_os("TETRABFT_BENCH_SMOKE").is_some()
+}
+
+/// A three-region geo matrix (ids round-robin over regions): 5 ms intra,
+/// 40/70/80 ms inter-region one-way delays.
+fn geo_matrix(n: usize) -> Vec<Vec<u64>> {
+    const REGION: [[u64; 3]; 3] = [[5, 40, 80], [40, 5, 70], [80, 70, 5]];
+    (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 0 } else { REGION[i % 3][j % 3] }).collect())
+        .collect()
+}
+
+/// First-decision time (virtual ms) of an n-node good-case run under
+/// `plan`, with the view timeout pushed out to `delta` ms.
+fn sim_commit_ms(n: usize, plan: &LinkPlan, delta: u64) -> u64 {
+    let cfg = Config::new(n).unwrap();
+    let mut sim = SimBuilder::new(n).plan(plan).build(|id| {
+        TetraNode::new(cfg, Params::new(delta), id, Value::from_u64(u64::from(id.0) + 1))
+    });
+    assert!(sim.run_until_outputs(n, 50_000_000), "scenario must decide");
+    sim.outputs()[0].time.0
+}
+
+/// Wall-clock first-decision latency of an n-node TCP cluster under
+/// `plan`; returns the elapsed time and every node's decided value.
+fn tcp_commit(n: usize, plan: LinkPlan, delta: u64) -> (Duration, Vec<Value>) {
+    let cfg = Config::new(n).unwrap();
+    let started = Instant::now();
+    let (mut cluster, _net) = ClusterBuilder::new(n)
+        .plan(plan)
+        .spawn(|id| {
+            TetraNode::new(cfg, Params::new(delta), id, Value::from_u64(u64::from(id.0) + 1))
+        })
+        .expect("cluster spawns");
+    let (_, first) =
+        cluster.next_output_timeout(Duration::from_secs(60)).expect("decide within 60s");
+    let elapsed = started.elapsed();
+    let mut values = vec![first];
+    for _ in 1..n {
+        let (_, v) =
+            cluster.next_output_timeout(Duration::from_secs(60)).expect("decide within 60s");
+        values.push(v);
+    }
+    (elapsed, values)
+}
+
+fn main() {
+    // ---- part one: exact latency matrices in the simulator -------------
+
+    // Δ = 100 s: if commit latency were timeout-bound, every number below
+    // would be ≥ 900_000 ms. Good-case TetraBFT needs 5 message delays.
+    let delta = 100_000u64;
+    let timeout = Params::new(delta).view_timeout();
+    let ns: &[usize] = if smoke() { &[4, 8] } else { &[4, 8, 16] };
+
+    let mut rows = Vec::new();
+    for &n in ns {
+        let lan = sim_commit_ms(n, &LinkPlan::uniform(EdgeSpec::delay(1)), delta);
+        let wan = sim_commit_ms(n, &LinkPlan::uniform(EdgeSpec::delay(30)), delta);
+        let geo = sim_commit_ms(n, &LinkPlan::from_matrix(&geo_matrix(n)), delta);
+
+        assert_eq!(lan, 5, "good case is 5 message delays at δ=1 (n={n})");
+        assert_eq!(wan, 5 * 30, "latency scales with the injected delay, not n (n={n})");
+        assert_eq!(wan, 30 * lan, "30× the delay ⇒ 30× the commit latency (n={n})");
+        assert!(
+            (5 * 5..=5 * 80).contains(&geo),
+            "geo latency is bounded by the slowest inter-region path (n={n}, got {geo})"
+        );
+        assert!(
+            timeout >= 100 * wan.max(geo),
+            "commit is two orders of magnitude below the 9Δ timeout (n={n})"
+        );
+        for (scenario, ms) in [("LAN 1 ms", lan), ("WAN 30 ms", wan), ("geo 5–80 ms", geo)] {
+            rows.push(vec![
+                n.to_string(),
+                scenario.to_string(),
+                format!("{ms}"),
+                format!("{:.1}%", 100.0 * ms as f64 / timeout as f64),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "WAN responsiveness (sim) — good-case commit latency under injected delay \
+             (Δ = {delta} ms fixed, 9Δ timeout = {timeout} ms)"
+        ),
+        &["n", "scenario", "commit (ms)", "of timeout"],
+        &rows,
+    );
+
+    // ---- part two: the same matrices over real TCP ---------------------
+
+    // Δ = 3 s ⇒ 27 s timeout; wall-clock latencies must track the plan's
+    // injected delay (≈5δ plus spawn/scheduling overhead), not the timeout.
+    let tcp_delta = 3_000u64;
+    let tcp_timeout = Params::new(tcp_delta).view_timeout();
+    let tcp_ns: &[usize] = if smoke() { &[4] } else { &[4, 8] };
+
+    let mut rows = Vec::new();
+    for &n in tcp_ns {
+        let (lan, _) = tcp_commit(n, LinkPlan::uniform(EdgeSpec::delay(1)), tcp_delta);
+        let (wan, wan_values) = tcp_commit(n, LinkPlan::uniform(EdgeSpec::delay(30)), tcp_delta);
+        let first = wan_values[0];
+        assert!(wan_values.iter().all(|v| *v == first), "agreement over the WAN (n={n})");
+        assert!(
+            wan >= Duration::from_millis(4 * 30),
+            "five 30 ms hops cannot commit in {wan:?} — conditioning must apply (n={n})"
+        );
+        assert!(
+            wan < Duration::from_millis(tcp_timeout / 5),
+            "commit latency must track the injected delay, not the {tcp_timeout} ms timeout \
+             (n={n}, got {wan:?})"
+        );
+        assert!(wan > lan, "30× the delay must cost wall-clock time (n={n})");
+        for (scenario, d) in [("LAN 1 ms", lan), ("WAN 30 ms", wan)] {
+            rows.push(vec![
+                n.to_string(),
+                scenario.to_string(),
+                format!("{}", d.as_millis()),
+                format!("{:.1}%", 100.0 * d.as_millis() as f64 / tcp_timeout as f64),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "WAN responsiveness (TCP) — wall-clock first commit \
+             (Δ = {tcp_delta} ms, 9Δ timeout = {tcp_timeout} ms; includes cluster spawn)"
+        ),
+        &["n", "scenario", "commit (ms)", "of timeout"],
+        &rows,
+    );
+
+    // ---- part three: partition-heal parity, sim vs TCP -----------------
+
+    // Node 0 (the view-0 leader) is severed from everyone for the first
+    // 600 ms; no quorum exists before the heal. Both runtimes must
+    // finalize right after the heal — not at the view timeout — and must
+    // agree on the decided value.
+    let heal = 600u64;
+    let hop = 5u64;
+    let plan = LinkPlan::uniform(EdgeSpec::delay(hop)).partition(PartitionWindow::isolate(
+        0,
+        heal,
+        [NodeId(0)],
+    ));
+
+    let sim_ms = {
+        let n = 4;
+        let cfg = Config::new(n).unwrap();
+        let mut sim = SimBuilder::new(n).plan(&plan).build(|id| {
+            TetraNode::new(cfg, Params::new(delta), id, Value::from_u64(u64::from(id.0) + 1))
+        });
+        assert!(sim.run_until_outputs(n, 50_000_000), "sim heals and decides");
+        let decided: Vec<Value> = sim.outputs().iter().map(|o| o.output).collect();
+        assert!(decided.iter().all(|v| *v == decided[0]), "sim agreement: {decided:?}");
+        assert_eq!(decided[0], Value::from_u64(1), "leader 0's value survives the partition");
+        sim.outputs()[0].time.0
+    };
+    assert!(
+        (heal..=heal + 10 * hop).contains(&sim_ms),
+        "sim finalizes right after the heal at {heal} ms, got {sim_ms}"
+    );
+
+    let (tcp_elapsed, tcp_values) = tcp_commit(4, plan, tcp_delta);
+    assert!(
+        tcp_elapsed >= Duration::from_millis(heal - 50),
+        "no quorum exists before the heal, yet TCP decided after {tcp_elapsed:?}"
+    );
+    assert!(
+        tcp_elapsed < Duration::from_millis(tcp_timeout / 2),
+        "TCP must finalize after the heal, not at the {tcp_timeout} ms timeout ({tcp_elapsed:?})"
+    );
+    let first = tcp_values[0];
+    assert!(tcp_values.iter().all(|v| *v == first), "TCP agreement: {tcp_values:?}");
+    assert_eq!(
+        first,
+        Value::from_u64(1),
+        "no divergence between runtimes: TCP decides the sim's value"
+    );
+
+    print_table(
+        "Partition heal — leader severed for 600 ms, Δ far away (no divergence: both \
+         runtimes decide leader 0's value)",
+        &["runtime", "commit after start (ms)", "decided"],
+        &[
+            vec!["sim (virtual)".into(), sim_ms.to_string(), "value 1".into()],
+            vec!["TCP (wall)".into(), tcp_elapsed.as_millis().to_string(), "value 1".into()],
+        ],
+    );
+
+    println!(
+        "\nReproduced on the fault-injecting network layer: commit latency is a small \
+         multiple of the injected one-way delay in every matrix (5δ in the good case) \
+         and snaps back right after a partition heals, while the 9Δ timeout never \
+         enters the picture — the responsiveness argument of Sections 1–2, now \
+         demonstrated over real reconnecting TCP links as well as in virtual time."
+    );
+}

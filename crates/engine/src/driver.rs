@@ -32,6 +32,13 @@ pub trait Transport<M, O> {
 
     /// Surface a protocol output to the application.
     fn deliver_output(&mut self, out: O);
+
+    /// Called exactly once after every action of one engine input has been
+    /// dispatched. Buffering transports hand their staged sends to the
+    /// network here — one handoff per input rather than one per message —
+    /// so a broadcast plus its follow-ups leave as a single batch. The
+    /// default is a no-op for transports that ship eagerly.
+    fn flush(&mut self) {}
 }
 
 /// A multiplexed engine input: everything that can wake a node.
@@ -256,6 +263,7 @@ impl<N: Node> Engine<N> {
                 Action::Output(out) => transport.deliver_output(out),
             }
         }
+        transport.flush();
     }
 }
 
@@ -327,6 +335,7 @@ mod tests {
         sends: Vec<(Dest, Msg)>,
         armed: Vec<(TimerId, u64, u64)>,
         outputs: Vec<u64>,
+        flushes: usize,
     }
     impl Transport<Msg, u64> for Recorder {
         fn send(&mut self, dest: Dest, msg: Msg) {
@@ -337,6 +346,9 @@ mod tests {
         }
         fn deliver_output(&mut self, out: u64) {
             self.outputs.push(out);
+        }
+        fn flush(&mut self) {
+            self.flushes += 1;
         }
     }
 
@@ -396,6 +408,22 @@ mod tests {
         let mut t = Recorder::default();
         engine.on_deliver(NodeId(0), Msg(42), Time(1), &mut t);
         assert_eq!(t.outputs, vec![42]);
+    }
+
+    #[test]
+    fn flush_runs_exactly_once_per_dispatched_input() {
+        // Batching transports coalesce everything one input produced into a
+        // single network handoff; the engine guarantees the once-per-input
+        // cadence (stale timer firings never reach dispatch, so no flush).
+        let mut engine = Engine::new(TimerNode, NodeId(0), 1);
+        let mut t = Recorder::default();
+        engine.start(Time(0), &mut t);
+        engine.on_deliver(NodeId(0), Msg(1), Time(1), &mut t);
+        assert_eq!(t.flushes, 2);
+        assert!(!engine.on_timer(TimerId(1), 1, Time(10), &mut t), "stale");
+        assert_eq!(t.flushes, 2, "a filtered firing dispatches nothing");
+        assert!(engine.on_timer(TimerId(1), 2, Time(10), &mut t));
+        assert_eq!(t.flushes, 3);
     }
 
     /// A submitter whose pool holds one request.

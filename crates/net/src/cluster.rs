@@ -1,19 +1,21 @@
-//! Localhost cluster orchestration: flat clusters, submitting clusters,
-//! and the sharded multi-instance mode.
+//! Cluster orchestration: flat clusters, submitting clusters, the sharded
+//! multi-instance mode, and the [`ClusterBuilder`] that threads a
+//! declarative topology and link plan through every node.
 
-use std::io;
 use std::net::TcpListener;
 use std::sync::mpsc;
 use std::time::Duration;
 
 use tetrabft_engine::{Node, Submitter};
+use tetrabft_sim::LinkPlan;
 use tetrabft_types::NodeId;
 use tetrabft_wire::Wire;
 
-use crate::runner::{run_node, run_submitter, NodeHandle, SubmitHandle};
+use crate::link::{LinkSetup, NetControl};
+use crate::runner::{run_node_inner, run_submitter_inner, NodeHandle, SubmitHandle};
+use crate::topology::{NetError, Topology};
 
-/// A running localhost cluster: `n` nodes in one process, real TCP between
-/// them.
+/// A running cluster: `n` nodes in one process, real TCP between them.
 ///
 /// Dropping the cluster stops every node.
 ///
@@ -30,40 +32,159 @@ pub struct Cluster<O> {
 /// [`SubmitHandle`] per node (indexed by [`NodeId`]).
 pub type SubmittingCluster<O, R> = (Cluster<O>, Vec<SubmitHandle<R>>);
 
-fn bind_all(n: usize) -> io::Result<(Vec<TcpListener>, Vec<std::net::SocketAddr>)> {
-    let mut listeners = Vec::with_capacity(n);
-    let mut addrs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        addrs.push(listener.local_addr()?);
-        listeners.push(listener);
-    }
-    Ok((listeners, addrs))
+/// Declarative cluster spec: node count or explicit [`Topology`], a
+/// [`LinkPlan`] for fault injection / WAN conditioning, and the
+/// deterministic seed feeding every edge's conditioner.
+///
+/// # Examples
+///
+/// Spawn a 4-node cluster whose links behave like a 30 ms WAN, then sever
+/// and heal a link mid-run:
+///
+/// ```no_run
+/// use tetrabft::{Params, TetraNode};
+/// use tetrabft_net::{ClusterBuilder, LinkPlan};
+/// use tetrabft_types::{Config, NodeId, Value};
+///
+/// # fn main() -> Result<(), tetrabft_net::NetError> {
+/// let cfg = Config::new(4).unwrap();
+/// let (mut cluster, net) = ClusterBuilder::new(4).plan(LinkPlan::wan(30)).spawn(|id| {
+///     TetraNode::new(cfg, Params::new(1000), id, Value::from_u64(7))
+/// })?;
+/// net.cut(NodeId(0), NodeId(1)); // the link re-establishes on its own
+/// let (node, decided) = cluster.next_output().unwrap();
+/// println!("{node} decided {decided}; {:?}", net.stats());
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    n: usize,
+    topology: Option<Topology>,
+    plan: LinkPlan,
+    seed: u64,
 }
 
-impl<O> Cluster<O> {
-    /// Binds `n` ephemeral listeners on 127.0.0.1 and spawns one node per
-    /// listener, built by `make`.
+impl ClusterBuilder {
+    /// Starts a spec for `n` nodes on OS-assigned localhost ports.
+    pub fn new(n: usize) -> Self {
+        ClusterBuilder { n, topology: None, plan: LinkPlan::ideal(), seed: 0 }
+    }
+
+    /// Places nodes at explicit addresses instead of ephemeral localhost
+    /// ports (the node count becomes the topology's length).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.n = topology.len();
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Conditions every link according to `plan` (delays, jitter, loss,
+    /// scripted partitions). Default: ideal links.
+    pub fn plan(mut self, plan: LinkPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Seeds the per-edge conditioning RNGs (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn listeners(&mut self) -> Result<(Vec<TcpListener>, Topology, LinkSetup), NetError> {
+        let (listeners, topology) = match self.topology.take() {
+            Some(t) => (t.bind_all()?, t),
+            None => Topology::bind_ephemeral(self.n)?,
+        };
+        let setup = LinkSetup::new(self.plan.clone(), topology.len(), self.seed);
+        Ok((listeners, topology, setup))
+    }
+
+    /// Spawns one node per topology slot, built by `make`, and returns the
+    /// cluster plus its [`NetControl`] (link stats and fault injection).
     ///
     /// # Errors
     ///
-    /// Propagates socket binding errors.
-    pub fn spawn<N, F>(n: usize, mut make: F) -> io::Result<Cluster<O>>
+    /// [`NetError`] on bind or listener-configuration failures.
+    pub fn spawn<N, O, F>(mut self, mut make: F) -> Result<(Cluster<O>, NetControl), NetError>
     where
         N: Node<Output = O> + Send + 'static,
         N::Msg: Wire + Send + 'static,
         O: Send + 'static,
         F: FnMut(NodeId) -> N,
     {
-        let (listeners, addrs) = bind_all(n)?;
+        let (listeners, topology, setup) = self.listeners()?;
         let (tx, rx) = mpsc::channel();
-        let mut handles = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(topology.len());
         for (i, listener) in listeners.into_iter().enumerate() {
             let id = NodeId(i as u16);
-            let handle = run_node(make(id), id, listener, addrs.clone(), tx.clone())?;
+            let (handle, _events) = run_node_inner::<N, std::convert::Infallible>(
+                make(id),
+                id,
+                listener,
+                topology.clone(),
+                tx.clone(),
+                setup.clone(),
+                |_, never| match never {},
+            )?;
             handles.push(handle);
         }
-        Ok(Cluster { outputs: rx, handles })
+        Ok((Cluster { outputs: rx, handles }, setup.control()))
+    }
+
+    /// Like [`ClusterBuilder::spawn`] for [`Submitter`] nodes: also
+    /// returns one [`SubmitHandle`] per node.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterBuilder::spawn`].
+    pub fn spawn_submitting<N, O, F>(
+        mut self,
+        mut make: F,
+    ) -> Result<(SubmittingCluster<O, N::Request>, NetControl), NetError>
+    where
+        N: Submitter<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        N::Request: Send + 'static,
+        O: Send + 'static,
+        F: FnMut(NodeId) -> N,
+    {
+        let (listeners, topology, setup) = self.listeners()?;
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::with_capacity(topology.len());
+        let mut submitters = Vec::with_capacity(topology.len());
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let id = NodeId(i as u16);
+            let (handle, submit) = run_submitter_inner(
+                make(id),
+                id,
+                listener,
+                topology.clone(),
+                tx.clone(),
+                setup.clone(),
+            )?;
+            handles.push(handle);
+            submitters.push(submit);
+        }
+        Ok(((Cluster { outputs: rx, handles }, submitters), setup.control()))
+    }
+}
+
+impl<O> Cluster<O> {
+    /// Binds `n` OS-assigned ephemeral listeners on localhost and spawns
+    /// one node per listener, built by `make`, over unconditioned links.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors as [`NetError`].
+    pub fn spawn<N, F>(n: usize, make: F) -> Result<Cluster<O>, NetError>
+    where
+        N: Node<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        O: Send + 'static,
+        F: FnMut(NodeId) -> N,
+    {
+        ClusterBuilder::new(n).spawn(make).map(|(cluster, _)| cluster)
     }
 
     /// Like [`Cluster::spawn`] for nodes accepting client submissions:
@@ -72,11 +193,11 @@ impl<O> Cluster<O> {
     ///
     /// # Errors
     ///
-    /// Propagates socket binding errors.
+    /// Propagates socket binding errors as [`NetError`].
     pub fn spawn_submitting<N, F>(
         n: usize,
-        mut make: F,
-    ) -> io::Result<SubmittingCluster<O, N::Request>>
+        make: F,
+    ) -> Result<SubmittingCluster<O, N::Request>, NetError>
     where
         N: Submitter<Output = O> + Send + 'static,
         N::Msg: Wire + Send + 'static,
@@ -84,18 +205,7 @@ impl<O> Cluster<O> {
         O: Send + 'static,
         F: FnMut(NodeId) -> N,
     {
-        let (listeners, addrs) = bind_all(n)?;
-        let (tx, rx) = mpsc::channel();
-        let mut handles = Vec::with_capacity(n);
-        let mut submitters = Vec::with_capacity(n);
-        for (i, listener) in listeners.into_iter().enumerate() {
-            let id = NodeId(i as u16);
-            let (handle, submit) =
-                run_submitter(make(id), id, listener, addrs.clone(), tx.clone())?;
-            handles.push(handle);
-            submitters.push(submit);
-        }
-        Ok((Cluster { outputs: rx, handles }, submitters))
+        ClusterBuilder::new(n).spawn_submitting(make).map(|(cluster, _)| cluster)
     }
 
     /// Waits for the next protocol output from any node.
@@ -145,12 +255,12 @@ impl<O> ShardedCluster<O> {
     ///
     /// # Errors
     ///
-    /// Propagates socket binding errors.
+    /// Propagates socket binding errors as [`NetError`].
     ///
     /// # Panics
     ///
     /// Panics if `k == 0`.
-    pub fn spawn<N, F>(k: usize, n: usize, mut make: F) -> io::Result<ShardedCluster<O>>
+    pub fn spawn<N, F>(k: usize, n: usize, mut make: F) -> Result<ShardedCluster<O>, NetError>
     where
         N: Node<Output = O> + Send + 'static,
         N::Msg: Wire + Send + 'static,

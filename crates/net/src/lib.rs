@@ -1,6 +1,7 @@
 //! TCP deployment for TetraBFT state machines — the "implement
 //! Multi-shot TetraBFT and conduct a practical evaluation" direction the
-//! paper lists as future work.
+//! paper lists as future work, with the fault-injecting network layer that
+//! evaluation needs.
 //!
 //! The same sans-I/O [`tetrabft_engine::Node`] state machines the
 //! simulator drives run here over real sockets (std networking, one
@@ -8,7 +9,20 @@
 //! same [`tetrabft_engine::Engine`] loop — this crate only provides the
 //! threaded TCP [`tetrabft_engine::Transport`]:
 //!
-//! * every node listens on a TCP address and dials every peer (full mesh);
+//! * every node listens on a [`Topology`]-declared TCP address (ephemeral
+//!   OS-assigned localhost ports by default, arbitrary `SocketAddr`s for
+//!   real deployments) and dials every peer (full mesh);
+//! * every outbound link is **supervised**: it dials with capped
+//!   exponential backoff, re-handshakes after drops, and resends frames
+//!   whose flush was never confirmed — a flapping connection delays
+//!   traffic but cannot wedge a node (delivery is at-least-once across
+//!   reconnects up to a bounded per-link buffer; protocol messages are
+//!   idempotent votes and buffer overflow degrades to ordinary loss);
+//! * links can be **conditioned** by the same declarative
+//!   [`LinkPlan`] the simulator consumes — per-edge one-way delay, jitter,
+//!   drop probability, and scripted partition windows — so one scenario
+//!   runs identically in virtual and wall-clock time, and [`NetControl`]
+//!   can kill live sockets mid-run;
 //! * a connection is an **authenticated channel**: the 2-byte hello frame
 //!   names the sender, and the process trusts the OS connection thereafter
 //!   — the paper's channel model, with no signatures anywhere;
@@ -26,7 +40,7 @@
 //! use tetrabft_net::Cluster;
 //! use tetrabft_types::{Config, Value};
 //!
-//! # fn main() -> std::io::Result<()> {
+//! # fn main() -> Result<(), tetrabft_net::NetError> {
 //! let cfg = Config::new(4).unwrap();
 //! let mut cluster =
 //!     Cluster::spawn(4, |id| TetraNode::new(cfg, Params::new(200), id, Value::from_u64(7)))?;
@@ -36,12 +50,22 @@
 //! }
 //! # Ok(()) }
 //! ```
+//!
+//! See [`ClusterBuilder`] for WAN conditioning and fault injection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;
+mod link;
 mod runner;
+mod supervisor;
+mod topology;
 
-pub use cluster::{Cluster, ShardedCluster, SubmittingCluster};
+pub use cluster::{Cluster, ClusterBuilder, ShardedCluster, SubmittingCluster};
+pub use link::{NetControl, NetStats};
 pub use runner::{run_node, run_submitter, NodeHandle, SubmitClosed, SubmitHandle};
+pub use topology::{NetError, Topology, TopologyError};
+// The scenario language is shared with the simulator; re-export it so TCP
+// embedders keep a single import path.
+pub use tetrabft_sim::{EdgeSpec, LinkPlan, PartitionWindow};

@@ -1,0 +1,268 @@
+//! Link conditioning and fault injection for the TCP layer.
+//!
+//! The declarative scenario ([`tetrabft_sim::LinkPlan`]) is shared with
+//! the simulator; this module is its wall-clock interpretation. Each
+//! directed edge gets an [`EdgeConditioner`] that stamps outbound frames
+//! with a due time (base delay + jitter), samples drops, and reports
+//! scripted partition windows, all deterministically from a per-edge seed.
+//! [`NetControl`] is the test/benchmark handle: aggregated link metrics
+//! plus one-shot socket kills.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tetrabft_sim::{EdgeSpec, LinkPlan, PartitionWindow};
+use tetrabft_types::NodeId;
+
+/// Aggregated counters of every supervised link of one cluster/node.
+#[derive(Debug, Default)]
+pub(crate) struct NetMetrics {
+    pub reconnects: AtomicU64,
+    pub frames_resent: AtomicU64,
+    pub frames_dropped: AtomicU64,
+    pub frames_shed: AtomicU64,
+}
+
+impl NetMetrics {
+    pub(crate) fn snapshot(&self) -> NetStats {
+        NetStats {
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            frames_resent: self.frames_resent.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_shed: self.frames_shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of link-layer health.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections re-established after a drop (initial dials excluded).
+    pub reconnects: u64,
+    /// Frames rewritten because a connection broke before their flush was
+    /// confirmed (delivery across reconnects is at-least-once).
+    pub frames_resent: u64,
+    /// Frames dropped by the link policy's loss rate.
+    pub frames_dropped: u64,
+    /// Frames shed because a link's bounded resend buffer overflowed (a
+    /// slow, down, or severed link outlasting 4096 queued frames); a shed
+    /// frame is lost like a policy drop and recovered via view change.
+    pub frames_shed: u64,
+}
+
+/// Handle to a running cluster's link layer: aggregated [`NetStats`] and
+/// one-shot fault injection.
+///
+/// Cutting a link kills the live sockets of both directions; the
+/// supervisors immediately re-dial with capped exponential backoff,
+/// re-handshake, and resend every frame whose flush was not confirmed, so
+/// a cut delays buffered traffic rather than losing it (up to the bounded
+/// per-link buffer — see [`NetStats::frames_shed`]).
+#[derive(Debug, Clone)]
+pub struct NetControl {
+    metrics: Arc<NetMetrics>,
+    cuts: Arc<HashMap<(u16, u16), Arc<AtomicBool>>>,
+}
+
+impl NetControl {
+    pub(crate) fn new(
+        metrics: Arc<NetMetrics>,
+        cuts: Arc<HashMap<(u16, u16), Arc<AtomicBool>>>,
+    ) -> Self {
+        NetControl { metrics, cuts }
+    }
+
+    /// Current link-layer counters, aggregated over every edge.
+    pub fn stats(&self) -> NetStats {
+        self.metrics.snapshot()
+    }
+
+    /// Kills the live sockets between `a` and `b` (both directions), once.
+    /// The links re-establish on their own; buffered frames flush after
+    /// the re-handshake.
+    pub fn cut(&self, a: NodeId, b: NodeId) {
+        for key in [(a.0, b.0), (b.0, a.0)] {
+            if let Some(flag) = self.cuts.get(&key) {
+                flag.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Everything the per-node runner needs to condition and supervise its
+/// outbound links: the shared plan, the common epoch partition windows are
+/// measured from, the metrics sink, and the cut flags (one per directed
+/// edge, shared with [`NetControl`]).
+#[derive(Debug, Clone)]
+pub(crate) struct LinkSetup {
+    pub plan: Arc<LinkPlan>,
+    pub epoch: Instant,
+    pub metrics: Arc<NetMetrics>,
+    pub cuts: Arc<HashMap<(u16, u16), Arc<AtomicBool>>>,
+    pub seed: u64,
+}
+
+impl LinkSetup {
+    /// A standalone node's setup: the given plan, fresh metrics, and cut
+    /// flags for every directed edge of an `n`-node mesh.
+    pub(crate) fn new(plan: LinkPlan, n: usize, seed: u64) -> Self {
+        let mut cuts = HashMap::new();
+        for a in 0..n as u16 {
+            for b in 0..n as u16 {
+                if a != b {
+                    cuts.insert((a, b), Arc::new(AtomicBool::new(false)));
+                }
+            }
+        }
+        LinkSetup {
+            plan: Arc::new(plan),
+            epoch: Instant::now(),
+            metrics: Arc::new(NetMetrics::default()),
+            cuts: Arc::new(cuts),
+            seed,
+        }
+    }
+
+    pub(crate) fn cut_flag(&self, from: NodeId, to: NodeId) -> Arc<AtomicBool> {
+        self.cuts.get(&(from.0, to.0)).cloned().unwrap_or_default()
+    }
+
+    pub(crate) fn control(&self) -> NetControl {
+        NetControl::new(Arc::clone(&self.metrics), Arc::clone(&self.cuts))
+    }
+
+    pub(crate) fn conditioner(&self, from: NodeId, to: NodeId) -> EdgeConditioner {
+        EdgeConditioner::new(&self.plan, from, to, self.epoch, self.seed)
+    }
+}
+
+/// The wall-clock interpretation of one directed edge of a [`LinkPlan`]:
+/// stamps frames with due times, samples drops, and translates partition
+/// windows into absolute instants.
+#[derive(Debug)]
+pub(crate) struct EdgeConditioner {
+    spec: EdgeSpec,
+    /// Only the windows that sever this edge.
+    windows: Vec<PartitionWindow>,
+    epoch: Instant,
+    rng: StdRng,
+    /// Links are FIFO: a jittered frame never overtakes its predecessor.
+    last_due: Instant,
+}
+
+impl EdgeConditioner {
+    pub(crate) fn new(
+        plan: &LinkPlan,
+        from: NodeId,
+        to: NodeId,
+        epoch: Instant,
+        seed: u64,
+    ) -> Self {
+        let windows = plan.partitions().iter().filter(|w| w.severs(from, to)).cloned().collect();
+        // One deterministic stream per directed edge, derived from the
+        // cluster seed — runs are reproducible modulo wall-clock jitter.
+        let edge = (u64::from(from.0) << 16) | u64::from(to.0);
+        let rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ edge);
+        EdgeConditioner { spec: plan.edge_spec(from, to), windows, epoch, rng, last_due: epoch }
+    }
+
+    /// Admits one frame enqueued at `now`: `None` if the loss rate drops
+    /// it, otherwise the instant it becomes writable (FIFO-clamped so
+    /// jitter cannot reorder a TCP stream). A frame admitted inside a
+    /// severed window counts its one-way delay from the heal, exactly as
+    /// `LinkPlan::route_at` prices it for the simulator.
+    pub(crate) fn admit(&mut self, now: Instant) -> Option<Instant> {
+        let delay = self.spec.sample(&mut self.rng)?;
+        let release = self.severed_until(now).unwrap_or(now);
+        let due = (release + Duration::from_millis(delay)).max(self.last_due);
+        self.last_due = due;
+        Some(due)
+    }
+
+    /// If this edge is inside a scripted partition at `now`, the instant
+    /// the (possibly chained) windows heal; `None` when connected.
+    pub(crate) fn severed_until(&self, now: Instant) -> Option<Instant> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        let at_ms = now.saturating_duration_since(self.epoch).as_millis() as u64;
+        let heal = PartitionWindow::release_time(&self.windows, at_ms);
+        (heal > at_ms).then(|| self.epoch + Duration::from_millis(heal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditioner_preserves_fifo_under_jitter() {
+        let plan = LinkPlan::uniform(EdgeSpec::delay(5).with_jitter(20));
+        let mut c = plan_conditioner(&plan);
+        let now = Instant::now();
+        let mut prev = now;
+        for _ in 0..100 {
+            let due = c.admit(now).unwrap();
+            assert!(due >= prev, "a later frame must not be due before an earlier one");
+            prev = due;
+        }
+    }
+
+    #[test]
+    fn frames_admitted_while_severed_are_due_at_heal_plus_delay() {
+        let plan = LinkPlan::uniform(EdgeSpec::delay(30)).partition(PartitionWindow::isolate(
+            0,
+            500,
+            [NodeId(0)],
+        ));
+        let mut c = plan_conditioner(&plan);
+        let due = c.admit(c.epoch + Duration::from_millis(100)).unwrap();
+        // Same pricing as LinkPlan::route_at: release at 500, then 30 ms.
+        assert_eq!(due.duration_since(c.epoch), Duration::from_millis(530));
+    }
+
+    #[test]
+    fn severed_window_translates_to_instants() {
+        let plan = LinkPlan::uniform(EdgeSpec::IDEAL).partition(PartitionWindow::isolate(
+            0,
+            50,
+            [NodeId(0)],
+        ));
+        let c = plan_conditioner(&plan);
+        let heal = c.severed_until(c.epoch).expect("severed at the epoch");
+        assert_eq!(heal.duration_since(c.epoch), Duration::from_millis(50));
+        assert!(c.severed_until(c.epoch + Duration::from_millis(60)).is_none());
+    }
+
+    #[test]
+    fn unrelated_edges_are_never_severed() {
+        let plan = LinkPlan::uniform(EdgeSpec::IDEAL).partition(PartitionWindow::isolate(
+            0,
+            50,
+            [NodeId(3)],
+        ));
+        let c = plan_conditioner(&plan); // edge 0 → 1
+        assert!(c.severed_until(c.epoch).is_none());
+    }
+
+    #[test]
+    fn lossy_edges_drop_deterministically_per_seed() {
+        let plan = LinkPlan::uniform(EdgeSpec::delay(1).with_drop(0.5));
+        let count = |seed| {
+            let mut c = EdgeConditioner::new(&plan, NodeId(0), NodeId(1), Instant::now(), seed);
+            let now = Instant::now();
+            (0..200).filter(|_| c.admit(now).is_none()).count()
+        };
+        assert_eq!(count(9), count(9));
+        assert!((50..150).contains(&count(9)));
+    }
+
+    fn plan_conditioner(plan: &LinkPlan) -> EdgeConditioner {
+        EdgeConditioner::new(plan, NodeId(0), NodeId(1), Instant::now(), 0)
+    }
+}

@@ -2,16 +2,23 @@
 //! threaded TCP [`Transport`] underneath the shared
 //! [`tetrabft_engine::Engine`] loop.
 //!
-//! The runtime owns only I/O: the accept loop, per-peer reader/writer
-//! threads, a wall-clock timer heap, and the channels that funnel
-//! everything into one event stream per node. Timer generations, action
-//! dispatch, and the input mux (deliver / timer / client-submit) live in
-//! the engine, exactly as in the simulator.
+//! The runtime owns only I/O: the accept loop, per-peer reader threads and
+//! link supervisors (`supervisor.rs` — reconnect with capped backoff,
+//! re-handshake, buffered resume, link conditioning), a wall-clock timer
+//! heap, and the channels that funnel everything into one event stream per
+//! node. Timer generations, action dispatch, and the input mux (deliver /
+//! timer / client-submit) live in the engine, exactly as in the simulator.
+//!
+//! Outbound messages are staged per input: the transport frames each
+//! message once and parks it in a per-peer outbox; the engine's
+//! once-per-input [`Transport::flush`] hands each peer's batch to its link
+//! supervisor in a single channel operation, and the supervisor writes the
+//! whole batch through one buffered flush.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -19,12 +26,17 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use tetrabft_engine::{Dest, Engine, Node, Submitter, Time, TimerId, Transport};
+use tetrabft_sim::LinkPlan;
 use tetrabft_types::NodeId;
 use tetrabft_wire::frame::{encode_frame_into, FrameDecoder};
 use tetrabft_wire::{Wire, Writer};
 
+use crate::link::LinkSetup;
+use crate::supervisor::{run_link, LinkConfig};
+use crate::topology::{NetError, Topology};
+
 /// Internal events multiplexed into the node's single-threaded loop.
-enum Event<M, R> {
+pub(crate) enum Event<M, R> {
     Deliver { from: NodeId, msg: M },
     Timer { id: TimerId, generation: u64 },
     Submit(R),
@@ -36,6 +48,9 @@ type Arming = (Instant, u64, TimerId);
 /// A spawned node: its stop handle plus the event channel feeding its
 /// engine mux (kept internal; submitters wrap it in a [`SubmitHandle`]).
 type Spawned<M, R> = (NodeHandle, mpsc::Sender<Event<M, R>>);
+
+/// Frames staged for one peer's link supervisor.
+type Batch = Vec<Arc<Vec<u8>>>;
 
 /// Handle to a running node.
 ///
@@ -99,18 +114,22 @@ impl<R> SubmitHandle<R> {
     }
 }
 
-/// The threaded TCP transport: frames to writer threads, armings to the
-/// timer thread, loopback deliveries back into the event channel, outputs
-/// to the application channel.
+/// The threaded TCP transport: frames staged into per-peer outboxes and
+/// handed to link supervisors on flush, armings to the timer thread,
+/// loopback deliveries back into the event channel, outputs to the
+/// application channel.
 struct TcpTransport<'a, M, R, O> {
     me: NodeId,
-    writers: &'a HashMap<NodeId, mpsc::Sender<Arc<Vec<u8>>>>,
+    writers: &'a HashMap<NodeId, mpsc::Sender<Batch>>,
     events: &'a mpsc::Sender<Event<M, R>>,
     timers: &'a mpsc::Sender<Arming>,
     outputs: &'a mpsc::Sender<(NodeId, O)>,
     /// Scratch encoder reused across sends: payload bytes land here, then
     /// are framed straight into the one outbound allocation per message.
     scratch: &'a mut Writer,
+    /// Per-peer staging (indexed by node id), drained by [`flush`]. Lives
+    /// outside the per-event transport so its allocations are reused.
+    outbox: &'a mut [Batch],
 }
 
 impl<M: Wire, R, O> TcpTransport<'_, M, R, O> {
@@ -134,8 +153,8 @@ impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
         match dest {
             Dest::All => {
                 if let Some(bytes) = self.frame(&msg) {
-                    for tx in self.writers.values() {
-                        let _ = tx.send(Arc::clone(&bytes));
+                    for peer in self.writers.keys() {
+                        self.outbox[peer.index()].push(Arc::clone(&bytes));
                     }
                 }
                 // Loopback, like the simulator: instantaneous (and exempt
@@ -147,8 +166,8 @@ impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
             }
             Dest::Node(to) => {
                 if let Some(bytes) = self.frame(&msg) {
-                    if let Some(tx) = self.writers.get(&to) {
-                        let _ = tx.send(bytes);
+                    if self.writers.contains_key(&to) {
+                        self.outbox[to.index()].push(bytes);
                     }
                 }
             }
@@ -163,35 +182,56 @@ impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
     fn deliver_output(&mut self, out: O) {
         let _ = self.outputs.send((self.me, out));
     }
+
+    fn flush(&mut self) {
+        // One channel handoff per peer per engine input: everything this
+        // input produced for a peer travels (and is later written) as one
+        // batch.
+        for (i, batch) in self.outbox.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            match self.writers.get(&NodeId(i as u16)) {
+                Some(tx) => {
+                    let _ = tx.send(std::mem::take(batch));
+                }
+                None => batch.clear(),
+            }
+        }
+    }
 }
 
-/// Runs `node` as `me`, listening on `listener` and dialing `peers`
-/// (indexed by [`NodeId`]); outputs are forwarded to `outputs`.
+/// Runs `node` as `me`, listening on `listener` and dialing the peers of
+/// `topology` (indexed by [`NodeId`]); outputs are forwarded to `outputs`.
 ///
-/// One protocol tick is one millisecond of wall-clock time.
+/// Every outbound link is supervised: it dials with capped exponential
+/// backoff, re-handshakes after drops, and resends unconfirmed frames, so
+/// peers may boot in any order and flapping connections only delay
+/// traffic. One protocol tick is one millisecond of wall-clock time.
 ///
 /// # Errors
 ///
-/// Returns an error if the listener cannot be inspected; dialing retries
-/// forever (peers may start in any order).
+/// [`NetError`] if the listener cannot be configured.
 pub fn run_node<N>(
     node: N,
     me: NodeId,
     listener: TcpListener,
-    peers: Vec<SocketAddr>,
+    topology: Topology,
     outputs: mpsc::Sender<(NodeId, N::Output)>,
-) -> io::Result<NodeHandle>
+) -> Result<NodeHandle, NetError>
 where
     N: Node + Send + 'static,
     N::Msg: Wire + Send + 'static,
     N::Output: Send + 'static,
 {
+    let links = LinkSetup::new(LinkPlan::ideal(), topology.len(), 0);
     let (handle, _event_tx) = run_node_inner::<N, std::convert::Infallible>(
         node,
         me,
         listener,
-        peers,
+        topology,
         outputs,
+        links,
         |_, never| match never {},
     )?;
     Ok(handle)
@@ -208,9 +248,27 @@ pub fn run_submitter<N>(
     node: N,
     me: NodeId,
     listener: TcpListener,
-    peers: Vec<SocketAddr>,
+    topology: Topology,
     outputs: mpsc::Sender<(NodeId, N::Output)>,
-) -> io::Result<(NodeHandle, SubmitHandle<N::Request>)>
+) -> Result<(NodeHandle, SubmitHandle<N::Request>), NetError>
+where
+    N: Submitter + Send + 'static,
+    N::Msg: Wire + Send + 'static,
+    N::Output: Send + 'static,
+    N::Request: Send + 'static,
+{
+    let links = LinkSetup::new(LinkPlan::ideal(), topology.len(), 0);
+    run_submitter_inner(node, me, listener, topology, outputs, links)
+}
+
+pub(crate) fn run_submitter_inner<N>(
+    node: N,
+    me: NodeId,
+    listener: TcpListener,
+    topology: Topology,
+    outputs: mpsc::Sender<(NodeId, N::Output)>,
+    links: LinkSetup,
+) -> Result<(NodeHandle, SubmitHandle<N::Request>), NetError>
 where
     N: Submitter + Send + 'static,
     N::Msg: Wire + Send + 'static,
@@ -221,8 +279,9 @@ where
         node,
         me,
         listener,
-        peers,
+        topology,
         outputs,
+        links,
         // Refused submissions (mempool full, degenerate tx) are dropped
         // here; the admission verdict lives on the node's thread.
         |engine, req| {
@@ -235,29 +294,33 @@ where
     Ok((handle, submit))
 }
 
-fn run_node_inner<N, R>(
+pub(crate) fn run_node_inner<N, R>(
     node: N,
     me: NodeId,
     listener: TcpListener,
-    peers: Vec<SocketAddr>,
+    topology: Topology,
     outputs: mpsc::Sender<(NodeId, N::Output)>,
+    links: LinkSetup,
     mut on_submit: impl FnMut(&mut Engine<N>, R) + Send + 'static,
-) -> io::Result<Spawned<N::Msg, R>>
+) -> Result<Spawned<N::Msg, R>, NetError>
 where
     N: Node + Send + 'static,
     N::Msg: Wire + Send + 'static,
     N::Output: Send + 'static,
     R: Send + 'static,
 {
-    let n = peers.len();
+    let n = topology.len();
     let stop = Arc::new(AtomicBool::new(false));
     let (event_tx, event_rx) = mpsc::channel::<Event<N::Msg, R>>();
 
     // Accept loop: each inbound connection announces its sender id in a
     // 2-byte hello, then streams frames. The connection *is* the
     // authenticated channel. Non-blocking accept so the thread (and the
-    // bound socket) actually go away when the node is stopped.
-    listener.set_nonblocking(true)?;
+    // bound socket) actually go away when the node is stopped. A peer may
+    // reconnect any number of times; each connection gets a fresh reader
+    // (and a fresh frame decoder, so a partial frame cut off by a broken
+    // connection can never corrupt the resent copy).
+    listener.set_nonblocking(true).map_err(|source| NetError::Listener { source })?;
     let accept_tx = event_tx.clone();
     let accept_stop = Arc::clone(&stop);
     thread::spawn(move || loop {
@@ -266,7 +329,7 @@ where
                 let _ = stream.set_nonblocking(false);
                 let tx = accept_tx.clone();
                 thread::spawn(move || {
-                    let _ = read_peer(stream, tx);
+                    let _ = read_peer(stream, me, n, tx);
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -285,18 +348,25 @@ where
     let timer_events = event_tx.clone();
     thread::spawn(move || run_timers(timer_rx, timer_events));
 
-    // Writer threads: one per peer, fed frames through a channel; dialing
-    // retries until the peer is up.
-    let mut writers: HashMap<NodeId, mpsc::Sender<Arc<Vec<u8>>>> = HashMap::new();
-    for (i, addr) in peers.iter().enumerate() {
+    // Link supervisors: one per outbound edge, fed frame batches through a
+    // channel; each owns dialing, backoff, re-handshake, conditioning, and
+    // the buffered-resume queue.
+    let mut writers: HashMap<NodeId, mpsc::Sender<Batch>> = HashMap::new();
+    for (i, addr) in topology.addrs().iter().enumerate() {
         let peer = NodeId(i as u16);
         if peer == me {
             continue;
         }
-        let (tx, rx) = mpsc::channel::<Arc<Vec<u8>>>();
+        let (tx, rx) = mpsc::channel::<Batch>();
         writers.insert(peer, tx);
-        let addr = *addr;
-        thread::spawn(move || write_peer(me, addr, rx));
+        let cfg = LinkConfig {
+            me,
+            addr: *addr,
+            conditioner: links.conditioner(me, peer),
+            cut: links.cut_flag(me, peer),
+            metrics: Arc::clone(&links.metrics),
+        };
+        thread::spawn(move || run_link(cfg, rx));
     }
 
     let loop_stop = Arc::clone(&stop);
@@ -305,6 +375,7 @@ where
         let start = Instant::now();
         let mut engine = Engine::new(node, me, n);
         let mut scratch = Writer::new();
+        let mut outbox: Vec<Batch> = vec![Vec::new(); n];
         let now = || Time(start.elapsed().as_millis() as u64);
 
         // Boot the state machine.
@@ -316,6 +387,7 @@ where
                 timers: &timer_tx,
                 outputs: &outputs,
                 scratch: &mut scratch,
+                outbox: &mut outbox,
             };
             engine.start(now(), &mut transport);
         }
@@ -333,6 +405,7 @@ where
                 timers: &timer_tx,
                 outputs: &outputs,
                 scratch: &mut scratch,
+                outbox: &mut outbox,
             };
             match event {
                 Event::Deliver { from, msg } => {
@@ -378,11 +451,20 @@ fn run_timers<M, R>(rx: mpsc::Receiver<Arming>, events: mpsc::Sender<Event<M, R>
 
 fn read_peer<M: Wire, R>(
     mut stream: TcpStream,
+    me: NodeId,
+    n: usize,
     events: mpsc::Sender<Event<M, R>>,
 ) -> io::Result<()> {
     let mut hello = [0u8; 2];
     stream.read_exact(&mut hello)?;
     let from = NodeId(u16::from_be_bytes(hello));
+    // The hello is a claim, and on a real (non-localhost) topology anything
+    // can reach the listen port: a claimed id outside the cluster — or our
+    // own, which only the in-process loopback path may use — would index
+    // per-peer protocol state out of bounds downstream. Hang up instead.
+    if from.index() >= n || from == me {
+        return Ok(());
+    }
     let mut decoder = FrameDecoder::new();
     let mut buf = vec![0u8; 64 * 1024];
     loop {
@@ -406,39 +488,6 @@ fn read_peer<M: Wire, R>(
                     // frame but keep the (authenticated) channel alive.
                 }
             }
-        }
-    }
-}
-
-fn write_peer(me: NodeId, addr: SocketAddr, rx: mpsc::Receiver<Arc<Vec<u8>>>) {
-    // Dial with retry: peers boot in arbitrary order.
-    let stream = loop {
-        match TcpStream::connect(addr) {
-            Ok(s) => break s,
-            Err(_) => thread::sleep(Duration::from_millis(20)),
-        }
-    };
-    let _ = stream.set_nodelay(true);
-    // One buffered writer carries the handshake and every frame: the 2-byte
-    // hello coalesces into the first batch's syscall, and each drained batch
-    // of queued frames goes out as a single write + flush instead of one
-    // unbuffered write_all per message.
-    let mut writer = io::BufWriter::with_capacity(64 * 1024, stream);
-    if writer.write_all(&me.0.to_be_bytes()).is_err() {
-        return;
-    }
-    while let Ok(first) = rx.recv() {
-        if writer.write_all(&first).is_err() {
-            return;
-        }
-        // Drain whatever the node queued meanwhile, then flush the batch.
-        while let Ok(next) = rx.try_recv() {
-            if writer.write_all(&next).is_err() {
-                return;
-            }
-        }
-        if writer.flush().is_err() {
-            return;
         }
     }
 }

@@ -1,0 +1,197 @@
+//! Connection supervision for one directed peer link.
+//!
+//! Each node runs one supervisor thread per outbound edge. The supervisor
+//! owns the link's whole lifecycle so a flapping connection never wedges
+//! the node:
+//!
+//! * **dial with capped exponential backoff** — peers boot in any order
+//!   and may vanish mid-run; retries start at 10 ms and cap at 1 s;
+//! * **re-handshake** — every (re)connection opens with the 2-byte hello
+//!   that names the sender, so the receiving side can always attribute
+//!   the stream;
+//! * **buffered resume** — frames are held in a bounded queue
+//!   ([`MAX_BUFFERED_FRAMES`] per link; beyond that the oldest is shed
+//!   and counted) and only retired once a flush confirms them; anything
+//!   unconfirmed when a connection breaks is rewritten after the
+//!   reconnect. Within the buffer bound, delivery across reconnects is
+//!   *at-least-once* (duplicates are harmless: every protocol message is
+//!   an idempotent vote); a shed frame is an ordinary loss the protocol
+//!   absorbs through view changes;
+//! * **link conditioning** — the shared [`LinkPlan`]'s per-edge delay,
+//!   jitter, and loss are applied before frames reach the socket, and
+//!   scripted partition windows proactively sever the connection (frames
+//!   buffer and become due at heal + delay, the same price
+//!   `LinkPlan::route_at` charges in the simulator).
+//!
+//! [`LinkPlan`]: tetrabft_sim::LinkPlan
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use tetrabft_types::NodeId;
+
+use crate::link::{EdgeConditioner, NetMetrics};
+
+/// Frames a supervised link will not buffer beyond; the oldest frame is
+/// shed first (newer consensus messages supersede older ones, and the
+/// protocol recovers lost messages through view changes anyway).
+pub(crate) const MAX_BUFFERED_FRAMES: usize = 4096;
+
+const BACKOFF_MIN: Duration = Duration::from_millis(10);
+const BACKOFF_MAX: Duration = Duration::from_millis(1000);
+/// Cap on one blocking dial: a black-holed peer (dropping firewall, dead
+/// host on a real WAN) never answers the SYN, and the OS default connect
+/// timeout is minutes — far too long to stall the supervisor loop, which
+/// also services cut flags, partition windows, and batch intake.
+const DIAL_TIMEOUT: Duration = Duration::from_millis(250);
+/// Upper bound on one wait, so cut flags and partition-window starts are
+/// noticed promptly even on an idle link.
+const POLL: Duration = Duration::from_millis(25);
+
+/// One directed link's static configuration.
+pub(crate) struct LinkConfig {
+    pub me: NodeId,
+    pub addr: SocketAddr,
+    pub conditioner: EdgeConditioner,
+    /// One-shot fault injection: when set, the live socket is killed (and
+    /// the flag consumed); the supervisor reconnects and resends.
+    pub cut: Arc<AtomicBool>,
+    pub metrics: Arc<NetMetrics>,
+}
+
+/// Runs the supervisor loop until the node shuts down (its sender side of
+/// `rx` drops). Batches arrive from the transport's per-input flush.
+pub(crate) fn run_link(mut cfg: LinkConfig, rx: mpsc::Receiver<Vec<Arc<Vec<u8>>>>) {
+    // Conditioned frames not yet confirmed flushed, with their due times.
+    let mut pending: VecDeque<(Instant, Arc<Vec<u8>>)> = VecDeque::new();
+    let mut conn: Option<io::BufWriter<TcpStream>> = None;
+    let mut connected_once = false;
+    let mut backoff = BACKOFF_MIN;
+    let mut next_dial = Instant::now();
+
+    loop {
+        if cfg.cut.swap(false, Ordering::Relaxed) {
+            teardown(&mut conn);
+        }
+        let now = Instant::now();
+        let severed = cfg.conditioner.severed_until(now);
+        if severed.is_some() {
+            // Scripted partition: hold the line down; frames keep queueing.
+            teardown(&mut conn);
+        } else {
+            // (Re)dial eagerly whenever down, so even idle links recover
+            // and the cluster is warm before the first broadcast.
+            if conn.is_none() && now >= next_dial {
+                match dial(&cfg) {
+                    Ok(writer) => {
+                        if connected_once {
+                            cfg.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        connected_once = true;
+                        backoff = BACKOFF_MIN;
+                        conn = Some(writer);
+                    }
+                    Err(_) => {
+                        next_dial = now + backoff;
+                        backoff = (backoff * 2).min(BACKOFF_MAX);
+                    }
+                }
+            }
+            if let Some(writer) = conn.as_mut() {
+                // Write every due frame, then flush once; frames are only
+                // retired by a confirmed flush, so a failure anywhere
+                // leaves them queued for the next connection.
+                let mut wrote = 0;
+                let mut failed = false;
+                while wrote < pending.len() && pending[wrote].0 <= now {
+                    if writer.write_all(&pending[wrote].1).is_err() {
+                        failed = true;
+                        break;
+                    }
+                    wrote += 1;
+                }
+                if !failed && wrote > 0 {
+                    failed = writer.flush().is_err();
+                }
+                if failed {
+                    teardown(&mut conn);
+                    cfg.metrics.frames_resent.fetch_add(wrote as u64, Ordering::Relaxed);
+                    next_dial = Instant::now() + backoff;
+                    backoff = (backoff * 2).min(BACKOFF_MAX);
+                } else {
+                    pending.drain(..wrote);
+                }
+            }
+        }
+
+        // Sleep until the earliest thing that could need us: the next due
+        // frame, the dial retry, a partition heal — capped by the poll
+        // granularity that notices cut flags and window starts.
+        let now = Instant::now();
+        let mut wait = POLL;
+        if let Some(heal) = severed {
+            wait = wait.min(heal.saturating_duration_since(now));
+        } else {
+            if let Some((due, _)) = pending.front() {
+                wait = wait.min(due.saturating_duration_since(now));
+            }
+            if conn.is_none() {
+                wait = wait.min(next_dial.saturating_duration_since(now));
+            }
+        }
+        match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+            Ok(batch) => enqueue(batch, &mut pending, &mut cfg),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return, // node stopped
+        }
+        // Coalesce whatever else the node queued meanwhile.
+        while let Ok(batch) = rx.try_recv() {
+            enqueue(batch, &mut pending, &mut cfg);
+        }
+    }
+}
+
+fn enqueue(
+    batch: Vec<Arc<Vec<u8>>>,
+    pending: &mut VecDeque<(Instant, Arc<Vec<u8>>)>,
+    cfg: &mut LinkConfig,
+) {
+    let now = Instant::now();
+    for frame in batch {
+        match cfg.conditioner.admit(now) {
+            Some(due) => {
+                pending.push_back((due, frame));
+                if pending.len() > MAX_BUFFERED_FRAMES {
+                    pending.pop_front();
+                    cfg.metrics.frames_shed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                cfg.metrics.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn dial(cfg: &LinkConfig) -> io::Result<io::BufWriter<TcpStream>> {
+    let stream = TcpStream::connect_timeout(&cfg.addr, DIAL_TIMEOUT)?;
+    let _ = stream.set_nodelay(true);
+    // Re-handshake: every connection opens by naming the sender; the 2-byte
+    // hello coalesces into the first flushed batch.
+    let mut writer = io::BufWriter::with_capacity(64 * 1024, stream);
+    writer.write_all(&cfg.me.0.to_be_bytes())?;
+    Ok(writer)
+}
+
+fn teardown(conn: &mut Option<io::BufWriter<TcpStream>>) {
+    if let Some(writer) = conn.take() {
+        // Shut the socket down before the BufWriter drop tries to flush:
+        // unconfirmed frames must stay queued here, not race out through a
+        // destructor onto a link we consider dead.
+        let _ = writer.get_ref().shutdown(Shutdown::Both);
+    }
+}

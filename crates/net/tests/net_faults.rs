@@ -1,0 +1,195 @@
+//! Fault-injection tests for the supervised TCP layer: killed sockets
+//! must reconnect and flush their buffers, scripted partitions must heal,
+//! lossy links must be survivable, and explicit topologies must work —
+//! all without ever diverging from an unfaulted run.
+
+use std::time::{Duration, Instant};
+
+use tetrabft::{Params, TetraNode};
+use tetrabft_multishot::MultiShotNode;
+use tetrabft_net::{ClusterBuilder, EdgeSpec, LinkPlan, NetError, PartitionWindow, Topology};
+use tetrabft_types::{Config, NodeId, Value};
+
+/// Runs a 4-node multishot cluster with deterministic preloaded traffic
+/// and returns node 0's finalized chain over the first `slots` slots.
+/// When `cut` is set, the sockets of two links are killed mid-run.
+fn multishot_chain(cut: bool, slots: u64) -> Vec<(u64, u64)> {
+    let cfg = Config::new(4).unwrap();
+    // Δ = 3 s ⇒ a 27 s view timeout: socket kills delay messages by a few
+    // backoff rounds but never trigger a view change, so block packing is
+    // a pure function of the preloaded mempools and the chain must come
+    // out identical with and without faults.
+    let params = Params::new(3_000).with_max_block_txs(2);
+    let (mut cluster, net) = ClusterBuilder::new(4)
+        .spawn(|id| {
+            let mut node = MultiShotNode::new(cfg, params, id);
+            for t in 0..6 {
+                node.submit_tx(format!("n{id}-t{t}").into_bytes()).unwrap();
+            }
+            node
+        })
+        .expect("cluster spawns");
+
+    let mut chain = Vec::new();
+    let mut injected = false;
+    while chain.len() < slots as usize {
+        let (node, fin) =
+            cluster.next_output_timeout(Duration::from_secs(30)).expect("finalize within 30s");
+        if node != NodeId(0) {
+            continue;
+        }
+        if fin.slot.0 <= slots {
+            chain.push((fin.slot.0, fin.hash.0));
+        }
+        // Kill live sockets once real traffic has proven the links are up.
+        if cut && !injected && fin.slot.0 >= 2 {
+            injected = true;
+            net.cut(NodeId(1), NodeId(2));
+            net.cut(NodeId(0), NodeId(3));
+        }
+    }
+    if cut {
+        let stats = net.stats();
+        assert!(
+            stats.reconnects >= 4,
+            "all four killed directions must re-establish, got {stats:?}"
+        );
+        assert_eq!(stats.frames_shed, 0, "nothing may be shed on a healthy run: {stats:?}");
+    }
+    chain
+}
+
+#[test]
+fn killed_sockets_reconnect_and_the_chain_matches_an_unfaulted_run() {
+    let unfaulted = multishot_chain(false, 10);
+    let faulted = multishot_chain(true, 10);
+    assert_eq!(
+        faulted, unfaulted,
+        "buffered frames must flush after reconnect: same chain, same order"
+    );
+}
+
+#[test]
+fn scripted_partition_heals_and_the_cluster_decides() {
+    let cfg = Config::new(4).unwrap();
+    // Node 0 (the view-0 leader) is severed from everyone for the first
+    // 400 ms: no quorum can form, so no decision can exist before the
+    // heal. Δ = 3 s keeps the view timeout (27 s) far away — the decision
+    // arriving right after the heal is the responsiveness claim in
+    // miniature.
+    let plan = LinkPlan::uniform(EdgeSpec::delay(1)).partition(PartitionWindow::isolate(
+        0,
+        400,
+        [NodeId(0)],
+    ));
+    let started = Instant::now();
+    let (mut cluster, _net) = ClusterBuilder::new(4)
+        .plan(plan)
+        .spawn(|id| {
+            TetraNode::new(cfg, Params::new(3_000), id, Value::from_u64(u64::from(id.0) + 1))
+        })
+        .expect("cluster spawns");
+
+    let mut decisions = Vec::new();
+    for _ in 0..4 {
+        let (_, value) =
+            cluster.next_output_timeout(Duration::from_secs(30)).expect("decide within 30s");
+        decisions.push(value);
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(350),
+        "no quorum exists before the heal at 400 ms, yet decided after {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "the decision must follow the heal, not the 27 s view timeout ({elapsed:?})"
+    );
+    assert!(
+        decisions.iter().all(|v| *v == Value::from_u64(1)),
+        "leader 0's value after the heal: {decisions:?}"
+    );
+}
+
+#[test]
+fn lossy_links_drop_frames_without_blocking_agreement() {
+    let cfg = Config::new(4).unwrap();
+    // Only the 2↔3 edge is lossy; quorums avoiding it keep the cluster at
+    // network speed while the drop counter proves frames really died.
+    let plan = LinkPlan::uniform(EdgeSpec::delay(1)).link(
+        NodeId(2),
+        NodeId(3),
+        EdgeSpec::delay(1).with_drop(0.5),
+    );
+    let (mut cluster, net) = ClusterBuilder::new(4)
+        .plan(plan)
+        .spawn(|id| TetraNode::new(cfg, Params::new(500), id, Value::from_u64(u64::from(id.0) + 1)))
+        .expect("cluster spawns");
+
+    let mut decisions = Vec::new();
+    for _ in 0..4 {
+        let (_, value) =
+            cluster.next_output_timeout(Duration::from_secs(30)).expect("decide within 30s");
+        decisions.push(value);
+    }
+    let first = decisions[0];
+    assert!(decisions.iter().all(|v| *v == first), "agreement despite loss: {decisions:?}");
+    assert!(net.stats().frames_dropped > 0, "the lossy edge must actually drop");
+}
+
+#[test]
+fn injected_wan_delay_governs_commit_latency() {
+    let cfg = Config::new(4).unwrap();
+    // 25 ms per hop and a 9Δ = 27 s timeout: the good case needs 5 message
+    // delays, so a decision before ~125 ms would mean the conditioning is
+    // not applied, and one near the timeout would mean responsiveness is
+    // lost.
+    let started = Instant::now();
+    let (mut cluster, _net) = ClusterBuilder::new(4)
+        .plan(LinkPlan::uniform(EdgeSpec::delay(25)))
+        .spawn(|id| {
+            TetraNode::new(cfg, Params::new(3_000), id, Value::from_u64(u64::from(id.0) + 1))
+        })
+        .expect("cluster spawns");
+    let (_, value) =
+        cluster.next_output_timeout(Duration::from_secs(30)).expect("decide within 30s");
+    let elapsed = started.elapsed();
+    assert_eq!(value, Value::from_u64(1));
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "5 conditioned hops cannot complete in {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "commit must track the injected delay, not the view timeout ({elapsed:?})"
+    );
+}
+
+#[test]
+fn explicit_topology_spawns_a_cluster_on_declared_addresses() {
+    let cfg = Config::new(4).unwrap();
+    // Reserve four OS-assigned ports, then declare them as an explicit
+    // topology (what a real deployment would put in its config). The tiny
+    // reserve-to-rebind window can race another process, so retry.
+    let mut last_err: Option<NetError> = None;
+    for _ in 0..3 {
+        let (listeners, topology) = Topology::bind_ephemeral(4).expect("reserve ports");
+        let spec = topology.to_string();
+        drop(listeners);
+        let declared: Topology = spec.parse().expect("topology survives serialization");
+        match ClusterBuilder::new(0).topology(declared).spawn(|id| {
+            TetraNode::new(cfg, Params::new(500), id, Value::from_u64(u64::from(id.0) + 1))
+        }) {
+            Ok((mut cluster, _net)) => {
+                assert_eq!(cluster.len(), 4, "node count comes from the topology");
+                let (_, value) = cluster
+                    .next_output_timeout(Duration::from_secs(30))
+                    .expect("decide within 30s");
+                assert_eq!(value, Value::from_u64(1));
+                return;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    panic!("could not bind the declared topology: {last_err:?}");
+}

@@ -67,6 +67,7 @@
 
 mod actors;
 mod metrics;
+mod plan;
 mod policy;
 mod queue;
 mod runner;
@@ -74,6 +75,7 @@ mod trace;
 
 pub use actors::{FnNode, SilentNode};
 pub use metrics::{KindMetrics, Metrics, NodeMetrics};
+pub use plan::{EdgeSpec, LinkPlan, PartitionWindow, PlanParseError};
 pub use policy::{LinkPolicy, Route, RouteEnv};
 pub use runner::{OutputRecord, Sim, SimBuilder};
 // The node abstraction and the engine loop live in `tetrabft-engine`; the

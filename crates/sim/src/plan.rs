@@ -1,0 +1,507 @@
+//! Declarative link conditioning shared by the simulator and the TCP
+//! runtime.
+//!
+//! A [`LinkPlan`] describes a network scenario — per-edge one-way delay,
+//! jitter, drop probability, and scripted partition windows — without
+//! reference to any runtime. The simulator consumes it through
+//! [`LinkPlan::policy`] (virtual-time ticks are milliseconds), the TCP
+//! layer (`tetrabft-net`) applies the very same plan in its send path with
+//! wall-clock milliseconds, so one scenario drives both runtimes and their
+//! results can be compared directly.
+//!
+//! Partition semantics match what a supervised TCP link does: frames sent
+//! while an edge is severed are *buffered* and released when the window
+//! ends (the link reconnects and flushes), not silently lost. Loss is
+//! modeled separately by the per-edge drop probability.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tetrabft_engine::Time;
+use tetrabft_types::NodeId;
+
+use crate::policy::{LinkPolicy, Route};
+
+/// Conditioning applied to one directed edge: a base one-way delay, a
+/// uniform jitter on top, and an independent drop probability per message.
+///
+/// Times are milliseconds — the unit both the simulator (one tick = 1 ms)
+/// and the TCP runtime (wall clock) use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeSpec {
+    /// Base one-way delay in milliseconds.
+    pub delay_ms: u64,
+    /// Uniform extra delay in `0..=jitter_ms` milliseconds, sampled per
+    /// message.
+    pub jitter_ms: u64,
+    /// Drop probability in parts per million (`1_000_000` = always drop).
+    pub drop_ppm: u32,
+}
+
+impl EdgeSpec {
+    /// A perfect link: zero delay, no jitter, no loss.
+    pub const IDEAL: EdgeSpec = EdgeSpec { delay_ms: 0, jitter_ms: 0, drop_ppm: 0 };
+
+    /// A fixed one-way delay with no jitter or loss.
+    pub fn delay(delay_ms: u64) -> Self {
+        EdgeSpec { delay_ms, jitter_ms: 0, drop_ppm: 0 }
+    }
+
+    /// Adds uniform jitter of up to `jitter_ms` milliseconds per message.
+    pub fn with_jitter(mut self, jitter_ms: u64) -> Self {
+        self.jitter_ms = jitter_ms;
+        self
+    }
+
+    /// Sets the drop probability as a fraction in `0.0..=1.0`.
+    pub fn with_drop(mut self, fraction: f64) -> Self {
+        self.drop_ppm = (fraction.clamp(0.0, 1.0) * 1_000_000.0) as u32;
+        self
+    }
+
+    /// Samples one message: `None` if dropped, otherwise the total one-way
+    /// delay (base + jitter) in milliseconds.
+    pub fn sample(&self, rng: &mut StdRng) -> Option<u64> {
+        if self.drop_ppm > 0 && rng.random_range(0..1_000_000u64) < u64::from(self.drop_ppm) {
+            return None;
+        }
+        let jitter = if self.jitter_ms > 0 { rng.random_range(0..=self.jitter_ms) } else { 0 };
+        Some(self.delay_ms + jitter)
+    }
+
+    /// Worst-case one-way delay (base + full jitter).
+    pub fn max_delay_ms(&self) -> u64 {
+        self.delay_ms + self.jitter_ms
+    }
+}
+
+/// Parse error for [`EdgeSpec`], [`PartitionWindow`], and topology-style
+/// plan fragments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    what: String,
+}
+
+impl PlanParseError {
+    fn new(what: impl Into<String>) -> Self {
+        PlanParseError { what: what.into() }
+    }
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid link-plan fragment: {}", self.what)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FromStr for EdgeSpec {
+    type Err = PlanParseError;
+
+    /// Parses `"delay=30,jitter=5,drop=0.01"` (any subset of keys; `drop`
+    /// is a fraction in `0..=1`).
+    fn from_str(s: &str) -> Result<Self, PlanParseError> {
+        let mut spec = EdgeSpec::IDEAL;
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| PlanParseError::new(format!("expected key=value, got `{part}`")))?;
+            match key.trim() {
+                "delay" => {
+                    spec.delay_ms = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| PlanParseError::new(format!("bad delay `{value}`")))?;
+                }
+                "jitter" => {
+                    spec.jitter_ms = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| PlanParseError::new(format!("bad jitter `{value}`")))?;
+                }
+                "drop" => {
+                    let frac: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| PlanParseError::new(format!("bad drop `{value}`")))?;
+                    if !(0.0..=1.0).contains(&frac) {
+                        return Err(PlanParseError::new(format!(
+                            "drop fraction `{value}` outside 0..=1"
+                        )));
+                    }
+                    spec = spec.with_drop(frac);
+                }
+                other => {
+                    return Err(PlanParseError::new(format!("unknown key `{other}`")));
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// A scripted partition: during `start_ms..end_ms` every edge crossing the
+/// boundary between `group` and the rest of the cluster is severed.
+///
+/// Severed traffic is buffered and released at the end of the window (the
+/// TCP link closes, reconnects after heal, and flushes its buffer; the
+/// simulator delivers at the heal time plus the edge delay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Window start, inclusive, in milliseconds since the run began.
+    pub start_ms: u64,
+    /// Window end, exclusive, in milliseconds since the run began.
+    pub end_ms: u64,
+    group: Vec<u16>,
+}
+
+impl PartitionWindow {
+    /// Severs `group` from the rest of the cluster during
+    /// `start_ms..end_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (`start_ms >= end_ms`).
+    pub fn isolate(start_ms: u64, end_ms: u64, group: impl IntoIterator<Item = NodeId>) -> Self {
+        assert!(start_ms < end_ms, "partition window must be non-empty");
+        let mut group: Vec<u16> = group.into_iter().map(|id| id.0).collect();
+        group.sort_unstable();
+        group.dedup();
+        PartitionWindow { start_ms, end_ms, group }
+    }
+
+    /// Whether the edge `a`–`b` crosses this partition's boundary.
+    pub fn severs(&self, a: NodeId, b: NodeId) -> bool {
+        self.group.binary_search(&a.0).is_ok() != self.group.binary_search(&b.0).is_ok()
+    }
+
+    /// Whether `at_ms` falls inside the window.
+    pub fn contains(&self, at_ms: u64) -> bool {
+        (self.start_ms..self.end_ms).contains(&at_ms)
+    }
+
+    /// Earliest time at or after `at_ms` at which none of `windows` is
+    /// active — when buffered traffic held by these windows is released.
+    /// Chained or overlapping windows are walked through to the final heal.
+    pub fn release_time(windows: &[PartitionWindow], at_ms: u64) -> u64 {
+        let mut at = at_ms;
+        loop {
+            let Some(end) = windows.iter().filter(|w| w.contains(at)).map(|w| w.end_ms).max()
+            else {
+                return at;
+            };
+            at = end;
+        }
+    }
+}
+
+impl FromStr for PartitionWindow {
+    type Err = PlanParseError;
+
+    /// Parses `"500..1500:0,3"` — isolate nodes 0 and 3 during
+    /// milliseconds 500..1500.
+    fn from_str(s: &str) -> Result<Self, PlanParseError> {
+        let (range, group) = s
+            .split_once(':')
+            .ok_or_else(|| PlanParseError::new(format!("expected range:group, got `{s}`")))?;
+        let (start, end) = range
+            .split_once("..")
+            .ok_or_else(|| PlanParseError::new(format!("expected start..end, got `{range}`")))?;
+        let start: u64 = start
+            .trim()
+            .parse()
+            .map_err(|_| PlanParseError::new(format!("bad start `{start}`")))?;
+        let end: u64 =
+            end.trim().parse().map_err(|_| PlanParseError::new(format!("bad end `{end}`")))?;
+        if start >= end {
+            return Err(PlanParseError::new(format!("empty window `{range}`")));
+        }
+        let mut ids = Vec::new();
+        for id in group.split(',').map(str::trim).filter(|g| !g.is_empty()) {
+            let id: u16 =
+                id.parse().map_err(|_| PlanParseError::new(format!("bad node id `{id}`")))?;
+            ids.push(NodeId(id));
+        }
+        if ids.is_empty() {
+            return Err(PlanParseError::new("partition group is empty"));
+        }
+        Ok(PartitionWindow::isolate(start, end, ids))
+    }
+}
+
+/// A whole-network conditioning scenario: a default [`EdgeSpec`], directed
+/// per-edge overrides, and scripted [`PartitionWindow`]s.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_sim::{EdgeSpec, LinkPlan, PartitionWindow};
+/// use tetrabft_types::NodeId;
+///
+/// // A 30 ms WAN with 3 ms jitter, one slow transatlantic edge, and a
+/// // partition isolating node 0 for the first half second.
+/// let plan = LinkPlan::uniform(EdgeSpec::delay(30).with_jitter(3))
+///     .link(NodeId(0), NodeId(3), EdgeSpec::delay(80))
+///     .partition(PartitionWindow::isolate(0, 500, [NodeId(0)]));
+/// assert_eq!(plan.edge_spec(NodeId(0), NodeId(3)).delay_ms, 80);
+/// assert_eq!(plan.edge_spec(NodeId(1), NodeId(2)).delay_ms, 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkPlan {
+    default: EdgeSpec,
+    edges: HashMap<(u16, u16), EdgeSpec>,
+    partitions: Vec<PartitionWindow>,
+}
+
+impl Default for LinkPlan {
+    fn default() -> Self {
+        LinkPlan::ideal()
+    }
+}
+
+impl LinkPlan {
+    /// Perfect links everywhere, no partitions.
+    pub fn ideal() -> Self {
+        LinkPlan::uniform(EdgeSpec::IDEAL)
+    }
+
+    /// The same spec on every edge.
+    pub fn uniform(spec: EdgeSpec) -> Self {
+        LinkPlan { default: spec, edges: HashMap::new(), partitions: Vec::new() }
+    }
+
+    /// A LAN preset: 1 ms one-way delay, no jitter or loss.
+    pub fn lan() -> Self {
+        LinkPlan::uniform(EdgeSpec::delay(1))
+    }
+
+    /// A WAN preset: `one_way_ms` delay with 10% jitter.
+    pub fn wan(one_way_ms: u64) -> Self {
+        LinkPlan::uniform(EdgeSpec::delay(one_way_ms).with_jitter(one_way_ms / 10))
+    }
+
+    /// Per-edge delays from a square matrix: `delays[i][j]` is the one-way
+    /// delay of edge `i → j` in milliseconds (the diagonal is ignored —
+    /// loopback never touches the network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn from_matrix(delays: &[Vec<u64>]) -> Self {
+        let n = delays.len();
+        let mut plan = LinkPlan::ideal();
+        for (i, row) in delays.iter().enumerate() {
+            assert_eq!(row.len(), n, "delay matrix must be square");
+            for (j, &d) in row.iter().enumerate() {
+                if i != j {
+                    plan.edges.insert((i as u16, j as u16), EdgeSpec::delay(d));
+                }
+            }
+        }
+        plan
+    }
+
+    /// Overrides one directed edge.
+    pub fn edge(mut self, from: NodeId, to: NodeId, spec: EdgeSpec) -> Self {
+        self.edges.insert((from.0, to.0), spec);
+        self
+    }
+
+    /// Overrides both directions between `a` and `b`.
+    pub fn link(self, a: NodeId, b: NodeId, spec: EdgeSpec) -> Self {
+        self.edge(a, b, spec).edge(b, a, spec)
+    }
+
+    /// Adds a scripted partition window.
+    pub fn partition(mut self, window: PartitionWindow) -> Self {
+        self.partitions.push(window);
+        self
+    }
+
+    /// The spec governing `from → to` (the directed override if present,
+    /// else the default).
+    pub fn edge_spec(&self, from: NodeId, to: NodeId) -> EdgeSpec {
+        self.edges.get(&(from.0, to.0)).copied().unwrap_or(self.default)
+    }
+
+    /// The scripted partition windows.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// Worst-case one-way delay over all edges of an `n`-node cluster.
+    pub fn max_delay_ms(&self, n: usize) -> u64 {
+        let mut max = self.default.max_delay_ms();
+        for ((from, to), spec) in &self.edges {
+            if usize::from(*from) < n && usize::from(*to) < n {
+                max = max.max(spec.max_delay_ms());
+            }
+        }
+        max
+    }
+
+    /// When a message sent on `from → to` at `at_ms` is released from any
+    /// severing partition windows (equal to `at_ms` when unsevered).
+    pub fn release_time(&self, from: NodeId, to: NodeId, at_ms: u64) -> u64 {
+        let mut at = at_ms;
+        loop {
+            let Some(end) = self
+                .partitions
+                .iter()
+                .filter(|w| w.severs(from, to) && w.contains(at))
+                .map(|w| w.end_ms)
+                .max()
+            else {
+                return at;
+            };
+            at = end;
+        }
+    }
+
+    /// Routes one message: `None` if dropped by the edge's loss rate,
+    /// otherwise its absolute delivery time in milliseconds — partition
+    /// release first (buffered links flush at heal), then the sampled
+    /// one-way delay.
+    pub fn route_at(&self, from: NodeId, to: NodeId, at_ms: u64, rng: &mut StdRng) -> Option<u64> {
+        let delay = self.edge_spec(from, to).sample(rng)?;
+        Some(self.release_time(from, to, at_ms) + delay)
+    }
+
+    /// The simulator-side view of this plan: a scripted [`LinkPolicy`]
+    /// with one tick = one millisecond, exactly mirroring what the TCP
+    /// layer's link conditioning does with the wall clock.
+    pub fn policy(&self) -> LinkPolicy {
+        let plan = self.clone();
+        LinkPolicy::scripted(move |env, rng| {
+            match plan.route_at(env.from, env.to, env.now.0, rng) {
+                Some(at) => Route::DeliverAt(Time(at)),
+                None => Route::Drop,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RouteEnv;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn edge_overrides_beat_the_default() {
+        let plan =
+            LinkPlan::uniform(EdgeSpec::delay(10)).link(NodeId(0), NodeId(1), EdgeSpec::delay(50));
+        assert_eq!(plan.edge_spec(NodeId(0), NodeId(1)).delay_ms, 50);
+        assert_eq!(plan.edge_spec(NodeId(1), NodeId(0)).delay_ms, 50);
+        assert_eq!(plan.edge_spec(NodeId(0), NodeId(2)).delay_ms, 10);
+        assert_eq!(plan.max_delay_ms(4), 50);
+        assert_eq!(plan.max_delay_ms(1), 10, "override edges outside n are ignored");
+    }
+
+    #[test]
+    fn matrix_plan_is_directed() {
+        let plan = LinkPlan::from_matrix(&[vec![0, 5], vec![9, 0]]);
+        assert_eq!(plan.edge_spec(NodeId(0), NodeId(1)).delay_ms, 5);
+        assert_eq!(plan.edge_spec(NodeId(1), NodeId(0)).delay_ms, 9);
+    }
+
+    #[test]
+    fn partitions_buffer_and_release() {
+        let plan = LinkPlan::uniform(EdgeSpec::delay(3)).partition(PartitionWindow::isolate(
+            100,
+            200,
+            [NodeId(0)],
+        ));
+        let mut r = rng();
+        // Severed edge: released at heal + delay.
+        assert_eq!(plan.route_at(NodeId(0), NodeId(1), 150, &mut r), Some(203));
+        // Edge inside the majority side is untouched.
+        assert_eq!(plan.route_at(NodeId(1), NodeId(2), 150, &mut r), Some(153));
+        // Outside the window nothing is severed.
+        assert_eq!(plan.route_at(NodeId(0), NodeId(1), 300, &mut r), Some(303));
+    }
+
+    #[test]
+    fn chained_partitions_release_at_the_final_heal() {
+        let plan = LinkPlan::uniform(EdgeSpec::delay(1))
+            .partition(PartitionWindow::isolate(0, 100, [NodeId(0)]))
+            .partition(PartitionWindow::isolate(100, 250, [NodeId(0)]));
+        assert_eq!(plan.release_time(NodeId(0), NodeId(1), 10), 250);
+        assert_eq!(plan.route_at(NodeId(0), NodeId(1), 10, &mut rng()), Some(251));
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored_and_deterministic() {
+        let spec = EdgeSpec::delay(1).with_drop(0.5);
+        let sample = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..1000).filter(|_| spec.sample(&mut r).is_none()).count()
+        };
+        let dropped = sample(3);
+        assert!((350..650).contains(&dropped), "≈half dropped, got {dropped}");
+        assert_eq!(dropped, sample(3), "sampling is a pure function of the seed");
+    }
+
+    #[test]
+    fn policy_mirrors_the_plan_in_virtual_time() {
+        let plan = LinkPlan::uniform(EdgeSpec::delay(30)).partition(PartitionWindow::isolate(
+            0,
+            600,
+            [NodeId(0)],
+        ));
+        let mut policy = plan.policy();
+        let mut r = rng();
+        let env = |from, to, now| RouteEnv { from, to, now: Time(now), size: 8 };
+        assert_eq!(
+            policy.route(env(NodeId(0), NodeId(2), 5), &mut r),
+            Route::DeliverAt(Time(630)),
+            "severed traffic heals at the window end plus the edge delay"
+        );
+        assert_eq!(policy.route(env(NodeId(1), NodeId(2), 5), &mut r), Route::DeliverAt(Time(35)));
+    }
+
+    #[test]
+    fn edge_spec_parses() {
+        let spec: EdgeSpec = "delay=30, jitter=5, drop=0.25".parse().unwrap();
+        assert_eq!(spec.delay_ms, 30);
+        assert_eq!(spec.jitter_ms, 5);
+        assert_eq!(spec.drop_ppm, 250_000);
+        assert_eq!("".parse::<EdgeSpec>().unwrap(), EdgeSpec::IDEAL);
+        assert!("delay=x".parse::<EdgeSpec>().is_err());
+        assert!("speed=1".parse::<EdgeSpec>().is_err());
+        assert!("drop=1.5".parse::<EdgeSpec>().is_err());
+    }
+
+    #[test]
+    fn partition_window_parses() {
+        let w: PartitionWindow = "500..1500:0,3".parse().unwrap();
+        assert_eq!(w.start_ms, 500);
+        assert_eq!(w.end_ms, 1500);
+        assert!(w.severs(NodeId(0), NodeId(1)));
+        assert!(w.severs(NodeId(3), NodeId(2)));
+        assert!(!w.severs(NodeId(0), NodeId(3)), "both isolated: same side");
+        assert!(!w.severs(NodeId(1), NodeId(2)));
+        assert!("500..400:0".parse::<PartitionWindow>().is_err());
+        assert!("0..9:".parse::<PartitionWindow>().is_err());
+        assert!("0..9".parse::<PartitionWindow>().is_err());
+    }
+
+    #[test]
+    fn jitter_bounds_the_sampled_delay() {
+        let spec = EdgeSpec::delay(10).with_jitter(4);
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = spec.sample(&mut r).unwrap();
+            assert!((10..=14).contains(&d));
+        }
+        assert_eq!(spec.max_delay_ms(), 14);
+    }
+}

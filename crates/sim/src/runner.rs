@@ -65,6 +65,13 @@ impl SimBuilder {
         self
     }
 
+    /// Sets the link policy from a declarative [`crate::LinkPlan`] — the
+    /// same plan the TCP layer (`tetrabft-net`) consumes, so one scenario
+    /// description drives both runtimes (one tick = one millisecond).
+    pub fn plan(self, plan: &crate::LinkPlan) -> Self {
+        self.policy(plan.policy())
+    }
+
     /// Enables the event trace (off by default; it grows with the run).
     pub fn record_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
