@@ -1,43 +1,41 @@
-//! Explicit-state breadth-first exploration.
+//! The original clone-based breadth-first explorer, kept as the measured
+//! baseline for the packed engine (see `benches/mc_scale.rs`).
+//!
+//! It stores full [`State`] clones in a single in-memory `HashSet` and
+//! canonicalizes by honest-node permutation only — exactly the design
+//! whose memory-per-state and allocation traffic capped exploration at
+//! toy bounds. [`crate::Explorer`] replaces it; this one remains for
+//! apples-to-apples comparisons and as an oracle in equivalence tests.
 
 use std::collections::{HashSet, VecDeque};
 
 use crate::invariants;
-use crate::model::{ModelCfg, State};
+use crate::model::{ModelCfg, State, VoteTable};
+use crate::report::Report;
 
-/// Outcome of an exploration run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Report {
-    /// Distinct states visited.
-    pub states: usize,
-    /// Transitions taken.
-    pub transitions: usize,
-    /// Maximum BFS depth reached.
-    pub depth: usize,
-    /// `true` if the reachable state space was exhausted within the budget.
-    pub exhausted: bool,
-    /// Number of states violating the agreement property.
-    pub violations: usize,
-    /// Number of states violating the paper's `ConsistencyInvariant`
-    /// (checked when [`Explorer::check_inductive`] is set).
-    pub invariant_violations: usize,
-}
-
-/// Breadth-first explorer for the abstract model.
+/// The v1 explorer: `HashSet<State>` seen-set, in-RAM `VecDeque` frontier,
+/// single-threaded, honest-node symmetry only.
 ///
 /// # Examples
 ///
-/// See the crate-level example.
+/// ```
+/// use tetrabft_mc::{LegacyExplorer, ModelCfg};
+///
+/// let cfg = ModelCfg { nodes: 4, byzantine: 1, values: 2, rounds: 1 };
+/// let report = LegacyExplorer::new(cfg).run(1_000_000);
+/// assert!(report.exhausted);
+/// assert_eq!(report.violations, 0);
+/// ```
 #[derive(Debug)]
-pub struct Explorer {
+pub struct LegacyExplorer {
     cfg: ModelCfg,
     check_inductive: bool,
 }
 
-impl Explorer {
+impl LegacyExplorer {
     /// Creates an explorer for `cfg`.
     pub fn new(cfg: ModelCfg) -> Self {
-        Explorer { cfg, check_inductive: false }
+        LegacyExplorer { cfg, check_inductive: false }
     }
 
     /// Additionally check the paper's `ConsistencyInvariant` on every
@@ -45,6 +43,17 @@ impl Explorer {
     pub fn check_inductive(mut self, on: bool) -> Self {
         self.check_inductive = on;
         self
+    }
+
+    /// Approximate heap bytes this engine spends per stored state: the
+    /// `State` header, its two heap blocks, and the hash-table slot
+    /// amortized at the table's 7/8 maximum load. Used by the scale bench
+    /// as the baseline for the ≥8× memory-per-state claim.
+    pub fn approx_bytes_per_state(cfg: &ModelCfg) -> usize {
+        let heap = cfg.honest() * std::mem::size_of::<VoteTable>() // votes buffer
+            + cfg.honest(); // round buffer
+        let entry = std::mem::size_of::<State>() + 1; // table slot + control byte
+        heap + entry * 8 / 7
     }
 
     /// Explores up to `max_states` distinct states (modulo honest-node
@@ -56,15 +65,7 @@ impl Explorer {
         seen.insert(initial.clone());
         queue.push_back((initial, 0));
 
-        let mut report = Report {
-            states: 0,
-            transitions: 0,
-            depth: 0,
-            exhausted: false,
-            violations: 0,
-            invariant_violations: 0,
-        };
-
+        let mut report = Report::empty();
         while let Some((state, depth)) = queue.pop_front() {
             report.states += 1;
             report.depth = report.depth.max(depth);
@@ -77,12 +78,24 @@ impl Explorer {
             for action in state.enabled_actions(&self.cfg) {
                 report.transitions += 1;
                 let next = state.apply(action).canonical();
-                if seen.len() < max_states && seen.insert(next.clone()) {
-                    queue.push_back((next, depth + 1));
+                if seen.contains(&next) {
+                    continue;
                 }
+                // A genuinely new state: store it, or count the dropped
+                // discovery if the budget is spent. (`seen.len() <
+                // max_states` *after* the loop misreported a space whose
+                // size exactly equals the budget, and silently uncounted
+                // every discovery refused here.)
+                if seen.len() >= max_states {
+                    report.dropped += 1;
+                    continue;
+                }
+                seen.insert(next.clone());
+                queue.push_back((next, depth + 1));
             }
         }
-        report.exhausted = seen.len() < max_states;
+        report.truncated = report.dropped > 0;
+        report.exhausted = !report.truncated;
         report
     }
 }
@@ -94,7 +107,7 @@ mod tests {
     #[test]
     fn tiny_instance_is_exhausted_and_safe() {
         let cfg = ModelCfg { nodes: 4, byzantine: 1, values: 2, rounds: 1 };
-        let report = Explorer::new(cfg).check_inductive(true).run(2_000_000);
+        let report = LegacyExplorer::new(cfg).check_inductive(true).run(2_000_000);
         assert!(report.exhausted, "2 values × 1 round must be exhaustible");
         assert_eq!(report.violations, 0, "agreement must hold everywhere");
         assert_eq!(report.invariant_violations, 0, "invariant must hold everywhere");
@@ -102,30 +115,40 @@ mod tests {
     }
 
     #[test]
-    fn two_rounds_bounded_exploration_is_safe() {
-        // Full exhaustion of 2 values × 2 rounds is the mc_agreement
-        // bench's job (it takes minutes, like the paper's 3-hour Apalache
-        // run); here we sweep the first quarter million states.
-        let cfg = ModelCfg { nodes: 4, byzantine: 1, values: 2, rounds: 2 };
-        let report = Explorer::new(cfg).run(250_000);
-        assert_eq!(report.violations, 0, "agreement must hold in every visited state");
-        assert!(report.states >= 250_000 || report.exhausted);
-    }
-
-    #[test]
     fn single_round_three_values_safe() {
         let cfg = ModelCfg { nodes: 4, byzantine: 1, values: 3, rounds: 1 };
-        let report = Explorer::new(cfg).run(2_000_000);
+        let report = LegacyExplorer::new(cfg).run(2_000_000);
         assert!(report.exhausted);
         assert_eq!(report.violations, 0);
     }
 
     #[test]
-    fn budget_is_respected() {
+    fn budget_is_respected_and_truncation_reported() {
         let cfg = ModelCfg { nodes: 4, byzantine: 1, values: 2, rounds: 3 };
-        let report = Explorer::new(cfg).run(500);
-        assert!(!report.exhausted || report.states <= 501);
+        let report = LegacyExplorer::new(cfg).run(500);
+        assert_eq!(report.states, 500, "exactly the budget is stored and expanded");
+        assert!(report.truncated);
+        assert!(!report.exhausted);
+        assert!(report.dropped > 0, "refused discoveries are counted");
         assert_eq!(report.violations, 0);
+    }
+
+    #[test]
+    fn budget_exactly_equal_to_space_size_is_exhausted() {
+        // Regression: `exhausted` used to be `seen.len() < max_states`
+        // after the loop, so running with the budget set to the exact
+        // space size claimed truncation despite exploring everything.
+        let cfg = ModelCfg { nodes: 4, byzantine: 1, values: 2, rounds: 1 };
+        let size = LegacyExplorer::new(cfg).run(2_000_000).states;
+        let exact = LegacyExplorer::new(cfg).run(size);
+        assert!(exact.exhausted, "budget == space size must report exhausted");
+        assert!(!exact.truncated);
+        assert_eq!(exact.dropped, 0);
+        assert_eq!(exact.states, size);
+
+        let short = LegacyExplorer::new(cfg).run(size - 1);
+        assert!(short.truncated);
+        assert!(short.dropped >= 1);
     }
 
     #[test]

@@ -7,14 +7,21 @@
 //! (explicit exploration with TLC was infeasible). This crate reproduces
 //! that result with two complementary techniques:
 //!
-//! 1. **Explicit-state BFS** ([`Explorer`]) over the same abstract model at
-//!    explicitly-tractable bounds (e.g. 2 values × 3 rounds), checking
-//!    `Consistency` in *every* reachable state. The Byzantine node is
-//!    modelled *angelically*: every quorum/blocking-set predicate lets the
-//!    adversary contribute whatever vote assignment helps it — a sound
+//! 1. **Explicit-state BFS** ([`Explorer`]) over the same abstract model,
+//!    checking `Consistency` in *every* reachable state. The Byzantine node
+//!    is modelled *angelically*: every quorum/blocking-set predicate lets
+//!    the adversary contribute whatever vote assignment helps it — a sound
 //!    over-approximation of all message behaviour visible to well-behaved
 //!    nodes in an unauthenticated system (and strictly stronger than
-//!    enumerating adversary states).
+//!    enumerating adversary states). The explorer is built to scale:
+//!    states are bit-packed fingerprints ([`encode`]) canonicalized under
+//!    honest-node *and* value symmetry, the seen-set is a sharded
+//!    collision-checked open-addressing table, the frontier spills to disk
+//!    instead of exhausting RAM, expansion parallelizes across threads
+//!    ([`Explorer::threads`]), and violations reconstruct a shortest
+//!    counterexample trace ([`Explorer::trace`]). The original clone-based
+//!    engine survives as [`LegacyExplorer`] for comparison —
+//!    `benches/mc_scale.rs` in `tetrabft-bench` measures the difference.
 //! 2. **Inductive-invariant sampling** ([`invariants`]): the paper's
 //!    `ConsistencyInvariant` is implemented verbatim; property tests
 //!    generate random states, filter to those satisfying the invariant, and
@@ -37,8 +44,19 @@
 #![warn(missing_docs)]
 
 mod bfs;
+pub mod encode;
+mod frontier;
 pub mod invariants;
 mod model;
+mod parallel;
+mod report;
+mod store;
+mod trace;
 
-pub use bfs::{Explorer, Report};
+pub use bfs::LegacyExplorer;
+pub use encode::{Codec, PackedState};
+pub use frontier::SpillQueue;
 pub use model::{ModelAction, ModelCfg, State, Vote, MAX_ROUNDS};
+pub use parallel::{ExploreStats, Explorer};
+pub use report::{Report, Trace, TraceStep};
+pub use store::{Outcome, Store};

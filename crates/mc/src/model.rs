@@ -214,6 +214,28 @@ impl State {
 
     /// All actions enabled in this state.
     pub fn enabled_actions(&self, cfg: &ModelCfg) -> Vec<ModelAction> {
+        // Hot path of both explorers: precompute the per-(round, phase,
+        // value) honest vote counts once instead of rescanning every node's
+        // table inside `accepted` for every candidate action.
+        const MAX_COUNTED_VALUES: usize = 8;
+        let mut counts = [[[0u8; MAX_COUNTED_VALUES]; 4]; MAX_ROUNDS];
+        let use_counts = (cfg.values as usize) <= MAX_COUNTED_VALUES;
+        if use_counts {
+            for table in &self.votes {
+                for vote in table.iter() {
+                    counts[vote.round as usize][vote.phase as usize - 1][vote.value as usize] += 1;
+                }
+            }
+        }
+        let quorum = cfg.honest_quorum() as u8;
+        let accepted = |value: u8, round: u8, phase: u8| {
+            if use_counts {
+                counts[round as usize][phase as usize - 1][value as usize] >= quorum
+            } else {
+                self.accepted(cfg, value, round, phase)
+            }
+        };
+
         let mut out = Vec::new();
         for p in 0..cfg.honest() {
             for r in 0..cfg.rounds {
@@ -233,7 +255,7 @@ impl State {
                     for phase in 2..=4u8 {
                         if self.round[p] <= r as i8
                             && self.votes[p].get(r, phase).is_none()
-                            && self.accepted(cfg, v, r, phase - 1)
+                            && accepted(v, r, phase - 1)
                         {
                             out.push(ModelAction::Vote { node: p, phase, round: r, value: v });
                         }

@@ -1,0 +1,130 @@
+//! Exploration outcome types shared by the packed [`crate::Explorer`] and
+//! the legacy [`crate::LegacyExplorer`] baseline.
+
+use std::fmt;
+
+use crate::model::{ModelAction, ModelCfg, State};
+
+/// Outcome of an exploration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct states visited (modulo the engine's symmetry reduction).
+    pub states: usize,
+    /// Transitions taken (every enabled action of every visited state).
+    pub transitions: usize,
+    /// Maximum BFS depth reached.
+    pub depth: usize,
+    /// `true` if the reachable state space was exhausted within the budget:
+    /// the frontier drained *and* no discovery was dropped. A space whose
+    /// size exactly equals the budget is exhausted.
+    pub exhausted: bool,
+    /// `true` if the state budget cut the exploration short (some discovered
+    /// states were never stored or expanded). Always `!exhausted`.
+    pub truncated: bool,
+    /// Discovery events dropped at the state budget: how many times a
+    /// not-yet-seen successor could not be stored. One unlucky state
+    /// rediscovered via several paths counts once per discovery.
+    pub dropped: usize,
+    /// Number of states violating the agreement property.
+    pub violations: usize,
+    /// Number of states violating the paper's `ConsistencyInvariant`
+    /// (checked when `check_inductive` is set on the explorer).
+    pub invariant_violations: usize,
+    /// A shortest counterexample trace to the first agreement violation,
+    /// when tracing was enabled and a violation was found.
+    pub counterexample: Option<Trace>,
+}
+
+impl Report {
+    pub(crate) fn empty() -> Report {
+        Report {
+            states: 0,
+            transitions: 0,
+            depth: 0,
+            exhausted: false,
+            truncated: false,
+            dropped: 0,
+            violations: 0,
+            invariant_violations: 0,
+            counterexample: None,
+        }
+    }
+}
+
+/// One step of a counterexample trace: the action taken and the canonical
+/// state it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The transition taken (node indices refer to the *preceding* state's
+    /// canonical node order).
+    pub action: ModelAction,
+    /// The canonical state after the action.
+    pub state: State,
+}
+
+/// A counterexample trace: a shortest action sequence from the initial
+/// state to a state where two different values are decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Model bounds the trace was found under.
+    pub cfg: ModelCfg,
+    /// The (canonical) initial state of the exploration.
+    pub initial: State,
+    /// The actions taken and the states they lead to, in order.
+    pub steps: Vec<TraceStep>,
+    /// The values decided in the final state (two or more).
+    pub decided: Vec<u8>,
+}
+
+impl Trace {
+    /// The final state of the trace (the violating state).
+    pub fn last_state(&self) -> &State {
+        self.steps.last().map_or(&self.initial, |s| &s.state)
+    }
+}
+
+fn write_state(f: &mut fmt::Formatter<'_>, state: &State) -> fmt::Result {
+    for (p, (table, round)) in state.votes.iter().zip(&state.round).enumerate() {
+        write!(f, "    node {p} (round {round:>2}):")?;
+        let mut any = false;
+        for vote in table.iter() {
+            write!(f, " r{}p{}={}", vote.round, vote.phase, vote.value)?;
+            any = true;
+        }
+        if !any {
+            write!(f, " (no votes)")?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "counterexample trace ({} steps, {} nodes / {} byzantine / {} values / {} rounds):",
+            self.steps.len(),
+            self.cfg.nodes,
+            self.cfg.byzantine,
+            self.cfg.values,
+            self.cfg.rounds
+        )?;
+        writeln!(f, "  initial:")?;
+        write_state(f, &self.initial)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step.action {
+                ModelAction::StartRound { node, round } => {
+                    writeln!(f, "  step {:>3}: StartRound(node {node}, round {round})", i + 1)?
+                }
+                ModelAction::Vote { node, phase, round, value } => writeln!(
+                    f,
+                    "  step {:>3}: Vote{phase}(node {node}, round {round}, value {value})",
+                    i + 1
+                )?,
+            }
+            write_state(f, &step.state)?;
+        }
+        write!(f, "  decided values: {:?} — agreement violated", self.decided)
+    }
+}

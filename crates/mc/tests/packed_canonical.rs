@@ -1,0 +1,141 @@
+//! Property coverage for the packed codec and the symmetry reduction:
+//! canonicalization is idempotent and invariant under honest-node and
+//! value permutations, and packed encode/decode roundtrips every
+//! generated `State` — including unreachable ones, since the seen-set
+//! must never confuse two distinct states.
+
+use proptest::prelude::*;
+
+use tetrabft_mc::{Codec, ModelCfg, State};
+
+fn paper() -> ModelCfg {
+    ModelCfg::paper()
+}
+
+/// The 6 permutations of `[0, 1, 2]` — used for both the 3 honest nodes
+/// and the 3 values of the paper instance.
+const PERMS3: [[usize; 3]; 6] = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+
+/// An arbitrary (not necessarily reachable) state within the paper
+/// bounds: random per-node rounds and a random batch of vote entries.
+fn state_strategy() -> impl Strategy<Value = State> {
+    let cfg = paper();
+    let entry = (0usize..cfg.honest(), 0..cfg.rounds, 1u8..=4, 0..cfg.values);
+    (
+        proptest::collection::vec(-1i8..cfg.rounds as i8, cfg.honest()..=cfg.honest()),
+        proptest::collection::vec(entry, 0..24),
+    )
+        .prop_map(move |(rounds, entries)| {
+            let mut s = State::initial(&cfg);
+            s.round = rounds;
+            for (node, round, phase, value) in entries {
+                s.votes[node].set(round, phase, value);
+            }
+            s
+        })
+}
+
+fn permute_nodes(s: &State, perm: &[usize; 3]) -> State {
+    State {
+        votes: perm.iter().map(|&i| s.votes[i].clone()).collect(),
+        round: perm.iter().map(|&i| s.round[i]).collect(),
+    }
+}
+
+fn permute_values(cfg: &ModelCfg, s: &State, perm: &[usize; 3]) -> State {
+    let mut out = State::initial(cfg);
+    out.round = s.round.clone();
+    for (p, table) in s.votes.iter().enumerate() {
+        for vote in table.iter() {
+            out.votes[p].set(vote.round, vote.phase, perm[vote.value as usize] as u8);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `decode ∘ encode` is the identity on every state — node order and
+    /// value labels included.
+    #[test]
+    fn packed_encode_decode_roundtrips(s in state_strategy()) {
+        let codec = Codec::new(&paper(), true);
+        prop_assert_eq!(codec.decode(&codec.encode(&s)), s);
+    }
+
+    /// Packed canonicalization is idempotent: canonicalizing the decoded
+    /// canonical form changes nothing.
+    #[test]
+    fn packed_canonical_is_idempotent(s in state_strategy()) {
+        let codec = Codec::new(&paper(), true);
+        let c = codec.canonical(&s);
+        prop_assert_eq!(codec.canonical(&codec.decode(&c)), c);
+    }
+
+    /// Permuting honest nodes never changes the canonical form (with or
+    /// without value symmetry).
+    #[test]
+    fn packed_canonical_invariant_under_node_permutation(
+        s in state_strategy(),
+        perm in 0usize..6,
+    ) {
+        let permuted = permute_nodes(&s, &PERMS3[perm]);
+        for value_symmetry in [true, false] {
+            let codec = Codec::new(&paper(), value_symmetry);
+            prop_assert_eq!(codec.canonical(&s), codec.canonical(&permuted));
+        }
+    }
+
+    /// Relabeling values never changes the canonical form when value
+    /// symmetry is on.
+    #[test]
+    fn packed_canonical_invariant_under_value_permutation(
+        s in state_strategy(),
+        perm in 0usize..6,
+    ) {
+        let codec = Codec::new(&paper(), true);
+        let relabeled = permute_values(&paper(), &s, &PERMS3[perm]);
+        prop_assert_eq!(codec.canonical(&s), codec.canonical(&relabeled));
+    }
+
+    /// Composing both symmetries still lands in the same orbit.
+    #[test]
+    fn packed_canonical_invariant_under_both_permutations(
+        s in state_strategy(),
+        node_perm in 0usize..6,
+        value_perm in 0usize..6,
+    ) {
+        let codec = Codec::new(&paper(), true);
+        let moved = permute_values(&paper(), &permute_nodes(&s, &PERMS3[node_perm]), &PERMS3[value_perm]);
+        prop_assert_eq!(codec.canonical(&s), codec.canonical(&moved));
+    }
+
+    /// The legacy `State::canonical` (node symmetry only) is idempotent
+    /// and invariant under honest-node permutation.
+    #[test]
+    fn state_canonical_idempotent_and_node_invariant(
+        s in state_strategy(),
+        perm in 0usize..6,
+    ) {
+        let c = s.canonical();
+        prop_assert_eq!(c.canonical(), c.clone());
+        prop_assert_eq!(permute_nodes(&s, &PERMS3[perm]).canonical(), c);
+    }
+
+    /// Distinct canonical forms decode to states in distinct orbits: the
+    /// canonical form of the decoded state always maps back to itself,
+    /// so the seen-set can never merge two inequivalent states.
+    #[test]
+    fn decode_of_canonical_is_a_faithful_representative(s in state_strategy()) {
+        let codec = Codec::new(&paper(), true);
+        let c = codec.canonical(&s);
+        let rep = codec.decode(&c);
+        // The representative is in the same orbit as `s` (some node +
+        // value permutation maps one to the other).
+        let found = PERMS3.iter().any(|np| {
+            PERMS3.iter().any(|vp| permute_values(&paper(), &permute_nodes(&s, np), vp) == rep)
+        });
+        prop_assert!(found, "canonical representative must be in the input's orbit");
+    }
+}
