@@ -29,6 +29,10 @@ fn main() {
                 MsMessage::Suggest { slot, .. }
                 | MsMessage::Proof { slot, .. }
                 | MsMessage::ViewChange { slot, .. } => slot.0,
+                // Resync traffic is slot-ranged, not per-slot, and a
+                // healthy good-case run sends none of it anyway.
+                MsMessage::CatchUp { from_slot } => from_slot.0,
+                MsMessage::Blocks { .. } => continue,
             };
             *timeline.entry((at.0, slot, msg.kind())).or_default() += 1;
         }

@@ -82,6 +82,9 @@ fn main() {
                 | MsMessage::Suggest { slot, view, .. }
                 | MsMessage::Proof { slot, view, .. }
                 | MsMessage::ViewChange { slot, view } => (slot.0, view.0),
+                // Resync traffic has no view and cannot appear in a
+                // non-durable view-change run.
+                MsMessage::CatchUp { .. } | MsMessage::Blocks { .. } => continue,
             };
             first.entry((slot, view, msg.kind())).or_insert(at.0);
         }

@@ -1,5 +1,7 @@
 //! Timing and batching parameters.
 
+use tetrabft_types::FsyncPolicy;
+
 /// Timing and batching parameters of the protocol.
 ///
 /// The only *timing* parameter TetraBFT needs is Δ, the post-GST delivery
@@ -32,6 +34,7 @@ pub struct Params {
     max_block_txs: usize,
     mempool_capacity: usize,
     max_tx_bytes: usize,
+    fsync: FsyncPolicy,
 }
 
 impl Params {
@@ -63,6 +66,7 @@ impl Params {
             max_block_txs: Self::DEFAULT_MAX_BLOCK_TXS,
             mempool_capacity: Self::DEFAULT_MEMPOOL_CAPACITY,
             max_tx_bytes: Self::DEFAULT_MAX_TX_BYTES,
+            fsync: FsyncPolicy::default(),
         }
     }
 
@@ -117,6 +121,22 @@ impl Params {
         self
     }
 
+    /// Sets the durable store's fsync cadence: `Always` pays a sync per
+    /// record for minimal power-loss rollback, `Batch(n)` amortizes it,
+    /// `Never` rides the OS page cache (still crash-safe for process
+    /// deaths, not power loss). Ignored by nodes without a durable store.
+    #[must_use]
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// The durable store's fsync cadence.
+    #[inline]
+    pub fn fsync(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
     /// The delivery bound Δ.
     #[inline]
     pub fn delta(&self) -> u64 {
@@ -162,6 +182,16 @@ mod tests {
     #[should_panic(expected = "Δ must be positive")]
     fn zero_delta_rejected() {
         let _ = Params::new(0);
+    }
+
+    #[test]
+    fn fsync_policy_defaults_batched_and_overrides() {
+        let p = Params::new(5);
+        assert_eq!(p.fsync(), FsyncPolicy::default());
+        let q = p.with_fsync(FsyncPolicy::Always);
+        assert_eq!(q.fsync(), FsyncPolicy::Always);
+        assert_eq!(q.delta(), 5, "timing knobs are untouched");
+        assert_eq!(Params::new(5).with_fsync(FsyncPolicy::Batch(4)).fsync(), FsyncPolicy::Batch(4));
     }
 
     #[test]

@@ -263,6 +263,10 @@ impl<N: Node> Engine<N> {
                 Action::Output(out) => transport.deliver_output(out),
             }
         }
+        // Persist *before* flush: transports that stage sends until flush
+        // (the TCP runtime) thus never emit a message whose causally-prior
+        // votes are not yet on disk — the write-ahead ordering.
+        self.node.persist();
         transport.flush();
     }
 }

@@ -74,6 +74,26 @@ pub trait Node {
 
     /// Processes one input event, emitting effects into `ctx`.
     fn handle(&mut self, input: Input<Self::Msg>, ctx: &mut Context<'_, Self::Msg, Self::Output>);
+
+    /// Flushes durable state to stable storage.
+    ///
+    /// The [`Engine`](crate::Engine) calls this exactly once per dispatched
+    /// input, after every action has been handed to the transport but
+    /// *before* [`Transport::flush`](crate::Transport::flush) — so a
+    /// buffering transport (like the TCP runtime, which stages sends until
+    /// flush) gives write-ahead semantics for free: votes hit disk before
+    /// the messages that depend on them leave the process. In-memory nodes
+    /// keep the default no-op.
+    fn persist(&mut self) {}
+
+    /// Monotone restart counter of this node's durable state, exchanged in
+    /// transport handshakes so peers can detect a restart (and drop frames
+    /// buffered for the previous incarnation). Nodes without durable state
+    /// return 0: they cannot restart-with-state, so no peer ever needs to
+    /// distinguish their incarnations.
+    fn incarnation(&self) -> u64 {
+        0
+    }
 }
 
 impl<N: Node + ?Sized> Node for Box<N> {
@@ -81,6 +101,12 @@ impl<N: Node + ?Sized> Node for Box<N> {
     type Output = N::Output;
     fn handle(&mut self, input: Input<Self::Msg>, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
         (**self).handle(input, ctx)
+    }
+    fn persist(&mut self) {
+        (**self).persist()
+    }
+    fn incarnation(&self) -> u64 {
+        (**self).incarnation()
     }
 }
 

@@ -179,6 +179,12 @@ impl Mempool {
         }
     }
 
+    /// Iterates the queued transactions in FIFO order — what a durable
+    /// node snapshots to disk so admitted transactions survive a crash.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<u8>> {
+        self.queue.iter()
+    }
+
     /// Number of queued transactions.
     pub fn len(&self) -> usize {
         self.queue.len()

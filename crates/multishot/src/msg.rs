@@ -58,7 +58,28 @@ pub enum MsMessage {
         /// Requested view.
         view: View,
     },
+    /// A restarted (or lagging) node asking peers for the finalized blocks
+    /// it is missing, starting at `from_slot`. Durable peers answer with a
+    /// [`MsMessage::Blocks`] range served from their on-disk chain log.
+    CatchUp {
+        /// First slot the requester does not have.
+        from_slot: Slot,
+    },
+    /// A contiguous range of finalized blocks answering a
+    /// [`MsMessage::CatchUp`]. Hashes are *not* carried: receivers recompute
+    /// them (the channel is authenticated but the sender may still lie, and
+    /// a recomputed hash plus f+1 agreeing peers is what makes a catch-up
+    /// block trustworthy).
+    Blocks {
+        /// The blocks, in ascending slot order.
+        blocks: Vec<Block>,
+    },
 }
+
+/// Most blocks one [`MsMessage::Blocks`] decode will accept; responders
+/// send at most half this (`CATCHUP_BATCH` in `node.rs`), so the headroom
+/// only rejects hostile encodings, never honest ones.
+pub const MAX_CATCHUP_BLOCKS: usize = 64;
 
 impl MsMessage {
     /// Short human-readable kind, used by traces and the figure benches.
@@ -69,6 +90,8 @@ impl MsMessage {
             MsMessage::Suggest { .. } => "suggest",
             MsMessage::Proof { .. } => "proof",
             MsMessage::ViewChange { .. } => "view-change",
+            MsMessage::CatchUp { .. } => "catch-up",
+            MsMessage::Blocks { .. } => "blocks",
         }
     }
 }
@@ -78,6 +101,8 @@ const TAG_VOTE: u8 = 2;
 const TAG_SUGGEST: u8 = 3;
 const TAG_PROOF: u8 = 4;
 const TAG_VIEW_CHANGE: u8 = 5;
+const TAG_CATCH_UP: u8 = 6;
+const TAG_BLOCKS: u8 = 7;
 
 impl Wire for MsMessage {
     fn encode(&self, w: &mut Writer) {
@@ -110,6 +135,17 @@ impl Wire for MsMessage {
                 slot.encode(w);
                 view.encode(w);
             }
+            MsMessage::CatchUp { from_slot } => {
+                w.put_u8(TAG_CATCH_UP);
+                from_slot.encode(w);
+            }
+            MsMessage::Blocks { blocks } => {
+                w.put_u8(TAG_BLOCKS);
+                w.put_varint(blocks.len() as u64);
+                for b in blocks {
+                    b.encode(w);
+                }
+            }
         }
     }
 
@@ -135,6 +171,21 @@ impl Wire for MsMessage {
             }
             TAG_VIEW_CHANGE => {
                 Ok(MsMessage::ViewChange { slot: Slot::decode(r)?, view: View::decode(r)? })
+            }
+            TAG_CATCH_UP => Ok(MsMessage::CatchUp { from_slot: Slot::decode(r)? }),
+            TAG_BLOCKS => {
+                let count = r.get_varint_u64()?;
+                if count > MAX_CATCHUP_BLOCKS as u64 {
+                    return Err(WireError::LengthOverflow {
+                        declared: usize::try_from(count).unwrap_or(usize::MAX),
+                        limit: MAX_CATCHUP_BLOCKS,
+                    });
+                }
+                let mut blocks = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    blocks.push(Block::decode(r)?);
+                }
+                Ok(MsMessage::Blocks { blocks })
             }
             tag => Err(WireError::InvalidTag { what: "MsMessage", tag }),
         }
@@ -201,6 +252,17 @@ pub mod v1 {
                 w.put_u64(slot.0);
                 w.put_u64(view.0);
             }
+            MsMessage::CatchUp { from_slot } => {
+                w.put_u8(super::TAG_CATCH_UP);
+                w.put_u64(from_slot.0);
+            }
+            MsMessage::Blocks { blocks } => {
+                w.put_u8(super::TAG_BLOCKS);
+                w.put_u32(blocks.len() as u32);
+                for b in blocks {
+                    encode_block(b, w);
+                }
+            }
         }
     }
 
@@ -236,6 +298,36 @@ mod tests {
         });
         roundtrip(MsMessage::Proof { slot: Slot(1), view: View(1), data: ProofData::default() });
         roundtrip(MsMessage::ViewChange { slot: Slot(1), view: View(1) });
+        roundtrip(MsMessage::CatchUp { from_slot: Slot(42) });
+        roundtrip(MsMessage::Blocks { blocks: vec![] });
+        roundtrip(MsMessage::Blocks {
+            blocks: vec![
+                Block::new(Slot(1), GENESIS_HASH, vec![b"a".to_vec()]),
+                Block::new(Slot(2), BlockHash(77), vec![b"b".to_vec(), b"c".to_vec()]),
+            ],
+        });
+    }
+
+    #[test]
+    fn hostile_blocks_count_rejected() {
+        // A Blocks frame claiming more than MAX_CATCHUP_BLOCKS entries must
+        // be refused before any allocation, even with no bodies attached.
+        let mut w = Writer::new();
+        w.put_u8(7); // TAG_BLOCKS
+        w.put_varint(MAX_CATCHUP_BLOCKS as u64 + 1);
+        assert!(matches!(
+            MsMessage::from_bytes(w.as_bytes()),
+            Err(WireError::LengthOverflow { .. })
+        ));
+        // Exactly the limit is fine as a *count*; it then fails on the
+        // missing bodies, not the bound.
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_varint(MAX_CATCHUP_BLOCKS as u64);
+        assert!(!matches!(
+            MsMessage::from_bytes(w.as_bytes()),
+            Err(WireError::LengthOverflow { .. })
+        ));
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The Multi-shot TetraBFT node (Algorithms 2 and 3).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 
 use tetrabft::rules::{leader_determine_safe, node_determine_safe};
 use tetrabft::{Message as CoreMessage, Params, ProofData, SuggestData};
 use tetrabft_sim::{Context, Input, Node, Submitter, TimerId};
+use tetrabft_store::{NodeStore, StoreError};
 use tetrabft_types::{Config, NodeId, Phase, Slot, Value, View};
+use tetrabft_wire::Wire;
 
 use crate::block::{Block, BlockHash, GENESIS_HASH};
 use crate::instance::SlotInstance;
@@ -18,6 +21,17 @@ use crate::store::BlockStore;
 /// The finality lag is 4 slots and at most 5 blocks can abort (Section 6.2),
 /// so 8 gives comfortable headroom while keeping protocol state O(window·n).
 pub const SLOT_WINDOW: u64 = 8;
+
+/// Timer id reserved for the periodic catch-up broadcast of durable nodes.
+/// Slot timers use the slot number itself as their id, so the top of the id
+/// space can never collide with a reachable slot.
+const CATCHUP_TIMER: TimerId = TimerId(u64::MAX);
+
+/// Most blocks a node serves per catch-up response — half the hostile-decode
+/// bound ([`crate::msg::MAX_CATCHUP_BLOCKS`]), so honest responses always
+/// decode. A lagging node re-requests as soon as a batch commits, so the cap
+/// bounds message size, not recovery depth.
+const CATCHUP_BATCH: usize = 32;
 
 /// The "fresh block" sentinel passed to Rule 1 as the leader's default
 /// value: block hashes are never 0 (see [`Block::hash`]), so when
@@ -69,6 +83,21 @@ pub struct MultiShotNode {
     /// proposal lost a view change), the batch is re-queued rather than
     /// silently lost. Bounded by the slot window.
     in_flight: BTreeMap<Slot, BlockHash>,
+    /// Durable store, if this node persists its state ([`Self::durable`]).
+    durable: Option<NodeStore>,
+    /// Incarnation counter from the durable store (0 = not durable).
+    incarnation: u64,
+    /// Live slots whose own vote book or view changed since the last
+    /// [`Node::persist`] call.
+    dirty_slots: BTreeSet<Slot>,
+    /// Whether the mempool changed since the last persisted snapshot.
+    mempool_dirty: bool,
+    /// Catch-up candidates: next-block proposals received via
+    /// [`MsMessage::Blocks`], keyed by `(slot, recomputed hash)` with the
+    /// set of peers vouching for each. A candidate commits once its parent
+    /// is our finalized tip and a blocking set (f+1, at least one honest
+    /// node) agrees on the hash.
+    catchup: BTreeMap<(Slot, BlockHash), (Block, BTreeSet<u16>)>,
 }
 
 impl MultiShotNode {
@@ -87,7 +116,72 @@ impl MultiShotNode {
             vc_sent: None,
             mempool: Mempool::new(params.mempool_capacity(), params.max_tx_bytes()),
             in_flight: BTreeMap::new(),
+            durable: None,
+            incarnation: 0,
+            dirty_slots: BTreeSet::new(),
+            mempool_dirty: false,
+            catchup: BTreeMap::new(),
         }
+    }
+
+    /// Creates a node whose state survives `kill -9`: votes, finalized
+    /// chain, and admitted transactions live in a [`NodeStore`] under
+    /// `dir`, replayed here on every restart. The first `Start` after a
+    /// restart broadcasts a [`MsMessage::CatchUp`] so peers stream back
+    /// whatever finalized while the node was down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] when the directory is unusable or a log
+    /// is corrupt beyond its recoverable (torn) tail.
+    pub fn durable(
+        cfg: Config,
+        params: Params,
+        me: NodeId,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, StoreError> {
+        let mut store = NodeStore::open(dir, params.fsync())?;
+        let mut node = MultiShotNode::new(cfg, params, me);
+        node.incarnation = store.incarnation();
+        if let Some((tip, hash)) = store.chain_tip() {
+            node.finalized = tip;
+            node.finalized_hash = BlockHash(hash);
+            // Reload the recent chain tail into the in-memory block store:
+            // votes in flight at the crash may reference these blocks as
+            // ancestors (pruning keeps the same 4-slot margin).
+            let lo = tip.0.saturating_sub(4).max(1);
+            for s in lo..=tip.0 {
+                if let Some((_, bytes)) = store.block_record(Slot(s))? {
+                    node.store.insert(Block::from_bytes(&bytes)?);
+                }
+            }
+        }
+        // Live-slot state: each restored book resumes exactly where the
+        // write-ahead record left it, so the node cannot contradict a vote
+        // it already sent before the crash.
+        for sv in store.restored_votes().values() {
+            if sv.slot <= node.finalized || sv.slot.0 > node.finalized.0 + SLOT_WINDOW {
+                continue;
+            }
+            let mut inst = SlotInstance::new(&node.cfg, sv.slot);
+            inst.view = sv.view;
+            inst.book = sv.book.clone();
+            node.instances.insert(sv.slot, inst);
+        }
+        // Admitted-but-unfinalized transactions survive the crash; rejects
+        // (duplicates of what finalized meanwhile) are harmless.
+        for tx in store.restored_mempool() {
+            let _ = node.mempool.submit(tx.clone());
+        }
+        node.durable = Some(store);
+        Ok(node)
+    }
+
+    /// Durable-store size counters `(live_bytes, chain_bytes, chain_len)`,
+    /// if this node is durable — how tests assert the paper's constant
+    /// live-state claim while the chain log grows linearly.
+    pub fn durable_stats(&self) -> Option<(u64, u64, u64)> {
+        self.durable.as_ref().map(|s| (s.live_bytes(), s.chain_bytes(), s.chain_len()))
     }
 
     /// Queues a transaction; it will be included the next time this node
@@ -100,7 +194,9 @@ impl MultiShotNode {
     /// refused with the reason; [`SubmitError::Full`] is the backpressure
     /// signal once [`Params::mempool_capacity`] transactions are queued.
     pub fn submit_tx(&mut self, tx: Vec<u8>) -> Result<(), SubmitError> {
-        self.mempool.submit(tx)
+        self.mempool.submit(tx)?;
+        self.mempool_dirty = true;
+        Ok(())
     }
 
     /// Number of transactions waiting in this node's mempool.
@@ -170,6 +266,91 @@ impl MultiShotNode {
                 }
             }
             MsMessage::ViewChange { slot, view } => self.on_view_change(from, slot, view),
+            MsMessage::CatchUp { from_slot } => self.on_catchup(from, from_slot, ctx),
+            MsMessage::Blocks { blocks } => self.on_blocks(from, blocks, ctx),
+        }
+    }
+
+    /// Serves a peer's catch-up request from the durable chain log: up to
+    /// [`CATCHUP_BATCH`] consecutive finalized blocks starting at
+    /// `from_slot`. Nodes without a durable store (or with nothing the
+    /// requester lacks) stay silent — catch-up quiesces by itself.
+    fn on_catchup(&mut self, from: NodeId, from_slot: Slot, ctx: &mut Ctx<'_>) {
+        if from == self.me {
+            return;
+        }
+        let Some(store) = self.durable.as_mut() else { return };
+        let Some((tip, _)) = store.chain_tip() else { return };
+        let lo = from_slot.0.max(1);
+        if lo > tip.0 {
+            return;
+        }
+        let hi = tip.0.min(lo + CATCHUP_BATCH as u64 - 1);
+        let mut blocks = Vec::with_capacity((hi - lo + 1) as usize);
+        for s in lo..=hi {
+            // A read error here means our own log is damaged; serve the
+            // clean prefix rather than nothing (or a panic).
+            let Ok(Some((_, bytes))) = store.block_record(Slot(s)) else { break };
+            let Ok(block) = Block::from_bytes(&bytes) else { break };
+            blocks.push(block);
+        }
+        if !blocks.is_empty() {
+            ctx.send(from, MsMessage::Blocks { blocks });
+        }
+    }
+
+    /// Buffers catch-up blocks by `(slot, recomputed hash)` and the peers
+    /// vouching for each, then commits whatever chains onto our tip.
+    fn on_blocks(&mut self, from: NodeId, blocks: Vec<Block>, ctx: &mut Ctx<'_>) {
+        for block in blocks {
+            let slot = block.slot;
+            if slot <= self.finalized || slot.0 > self.finalized.0 + CATCHUP_BATCH as u64 {
+                continue;
+            }
+            // Recompute the hash: the sender names no digest, and could not
+            // be trusted if it did.
+            let hash = block.hash();
+            let entry =
+                self.catchup.entry((slot, hash)).or_insert_with(|| (block, BTreeSet::new()));
+            entry.1.insert(from.0);
+        }
+        self.try_catchup_commit(ctx);
+    }
+
+    /// Commits buffered catch-up blocks while the next one is present: its
+    /// parent must equal our finalized tip and a blocking set (f+1 peers,
+    /// hence at least one honest node) must vouch for the same hash — a
+    /// lone Byzantine responder can never graft a forged block.
+    fn try_catchup_commit(&mut self, ctx: &mut Ctx<'_>) {
+        let mut progressed = false;
+        loop {
+            let next = self.finalized.next();
+            let parent = self.finalized_hash;
+            let found = self
+                .catchup
+                .iter()
+                .find(|((s, _), (b, peers))| {
+                    *s == next && b.parent == parent && self.cfg.is_blocking(peers.len())
+                })
+                .map(|(key, _)| *key);
+            let Some(key) = found else { break };
+            let (block, _) = self.catchup.remove(&key).expect("key was just found");
+            self.store.insert(block.clone());
+            self.commit_block(key.0, key.1, block, ctx);
+            progressed = true;
+        }
+        // Drop candidates that can no longer matter (at or below the tip,
+        // or beyond the next request window).
+        let lo = self.finalized;
+        let hi = Slot(self.finalized.0 + CATCHUP_BATCH as u64);
+        self.catchup.retain(|(s, _), _| *s > lo && *s <= hi);
+        if progressed {
+            self.store.prune_below(Slot(self.finalized.0.saturating_sub(4)));
+            // Re-open the live window above the new tip and immediately ask
+            // for the next range — convergence in chain/BATCH round trips
+            // instead of one periodic timer tick per batch.
+            self.ensure_instance(self.finalized.next(), ctx);
+            ctx.broadcast(MsMessage::CatchUp { from_slot: self.finalized.next() });
         }
     }
 
@@ -345,6 +526,7 @@ impl MultiShotNode {
         inst.view = target;
         inst.proposed = false;
         inst.timer_expired = false;
+        self.dirty_slots.insert(slot);
         ctx.set_timer(Self::timer_for(slot), params.view_timeout());
         let (vote2, prev_vote2, vote3) = inst.book.suggest_fields();
         ctx.send(
@@ -460,6 +642,7 @@ impl MultiShotNode {
     fn build_block(&mut self, slot: Slot, parent: BlockHash) -> Block {
         let block = Block::new(slot, parent, self.mempool.next_batch(self.params.max_block_txs()));
         if !block.txs.is_empty() {
+            self.mempool_dirty = true;
             // A later fresh proposal for the same slot supersedes our
             // earlier one; rescue that batch before dropping its record.
             if let Some(old) = self.in_flight.insert(slot, block.hash()) {
@@ -476,6 +659,7 @@ impl MultiShotNode {
     fn requeue_batch(&mut self, ours: BlockHash) {
         if let Some(block) = self.store.get(ours) {
             self.mempool.requeue_front(block.txs.clone());
+            self.mempool_dirty = true;
         }
     }
 
@@ -521,8 +705,12 @@ impl MultiShotNode {
             let phase = Phase::from_u8(k as u8 + 1).expect("k+1 in 1..=4");
             if let Some(ti) = self.instances.get_mut(&target) {
                 ti.book.record(phase, view, ancestor.as_value());
+                self.dirty_slots.insert(target);
             }
         }
+        // The write-ahead contract: [`Node::persist`] runs before the
+        // transport flushes this broadcast, so the book entries above reach
+        // disk before any peer can observe the vote.
         ctx.broadcast(MsMessage::Vote { slot, view, hash });
         true
     }
@@ -568,24 +756,40 @@ impl MultiShotNode {
         }
         chain.reverse();
         for (s, h, block) in chain {
-            // If we drained a batch into a proposal for this slot and a
-            // different block won, the batch returns to the mempool's
-            // head — admitted transactions survive lost view changes.
-            if let Some(ours) = self.in_flight.remove(&s) {
-                if ours != h {
-                    self.requeue_batch(ours);
-                }
-            }
-            ctx.output(Finalized { slot: s, hash: h, block });
-            ctx.cancel_timer(Self::timer_for(s));
-            self.instances.remove(&s);
-            self.finalized = s;
-            self.finalized_hash = h;
+            self.commit_block(s, h, block, ctx);
         }
         // Keep a short tail of finalized blocks: in-flight votes may still
         // reference them as ancestors.
         self.store.prune_below(Slot(self.finalized.0.saturating_sub(4)));
         true
+    }
+
+    /// Commits one finalized block — the shared tail of `step_finalize`
+    /// and the catch-up path: rescue a defeated in-flight batch, append to
+    /// the durable chain log *before* the output can be observed, emit the
+    /// [`Finalized`] event, and retire the slot's live state.
+    fn commit_block(&mut self, slot: Slot, hash: BlockHash, block: Block, ctx: &mut Ctx<'_>) {
+        // If we drained a batch into a proposal for this slot and a
+        // different block won, the batch returns to the mempool's head —
+        // admitted transactions survive lost view changes.
+        if let Some(ours) = self.in_flight.remove(&slot) {
+            if ours != hash {
+                self.requeue_batch(ours);
+            }
+        }
+        if let Some(store) = self.durable.as_mut() {
+            // Finalized state must never be claimed and then lost; a store
+            // that cannot append is a node that must not keep running.
+            store
+                .append_block(slot, hash.0, &block.to_bytes())
+                .expect("durable chain log append failed");
+        }
+        ctx.output(Finalized { slot, hash, block });
+        ctx.cancel_timer(Self::timer_for(slot));
+        self.instances.remove(&slot);
+        self.dirty_slots.remove(&slot);
+        self.finalized = slot;
+        self.finalized_hash = hash;
     }
 }
 
@@ -598,18 +802,65 @@ impl Node for MultiShotNode {
     fn handle(&mut self, input: Input<MsMessage>, ctx: &mut Ctx<'_>) {
         match input {
             Input::Start => {
-                self.ensure_instance(Slot(1), ctx);
+                self.ensure_instance(self.finalized.next(), ctx);
+                // Restored instances were created without a context; every
+                // live slot (fresh or restored) gets its timer here.
+                let slots: Vec<Slot> = self.instances.keys().copied().collect();
+                for slot in slots {
+                    ctx.set_timer(Self::timer_for(slot), self.params.view_timeout());
+                }
+                if self.durable.is_some() {
+                    // Pull whatever finalized while we were down, and keep
+                    // pulling periodically — the timer doubles as the
+                    // retransmission for lost catch-up traffic.
+                    ctx.broadcast(MsMessage::CatchUp { from_slot: self.finalized.next() });
+                    ctx.set_timer(CATCHUP_TIMER, self.params.view_timeout());
+                }
                 self.drive(ctx);
             }
             Input::Deliver { from, msg } => {
                 self.on_message(from, msg, ctx);
                 self.drive(ctx);
             }
+            Input::Timer { id } if id == CATCHUP_TIMER => {
+                ctx.broadcast(MsMessage::CatchUp { from_slot: self.finalized.next() });
+                ctx.set_timer(CATCHUP_TIMER, self.params.view_timeout());
+            }
             Input::Timer { id } => {
                 self.on_timeout(Slot(id.0), ctx);
                 self.drive(ctx);
             }
         }
+    }
+
+    fn persist(&mut self) {
+        if self.durable.is_none() {
+            return;
+        }
+        // Called by the engine after every dispatch, *before* the transport
+        // flushes staged frames: whatever this batch of work voted or
+        // admitted is on disk before any peer can observe it.
+        let finalized = self.finalized;
+        let dirty = std::mem::take(&mut self.dirty_slots);
+        let store = self.durable.as_mut().expect("checked above");
+        for slot in dirty {
+            if slot <= finalized {
+                continue;
+            }
+            if let Some(inst) = self.instances.get(&slot) {
+                store
+                    .record_votes(slot, inst.view, finalized, &inst.book)
+                    .expect("durable vote record failed");
+            }
+        }
+        if self.mempool_dirty {
+            self.mempool_dirty = false;
+            store.save_mempool(self.mempool.iter()).expect("durable mempool snapshot failed");
+        }
+    }
+
+    fn incarnation(&self) -> u64 {
+        self.incarnation
     }
 }
 

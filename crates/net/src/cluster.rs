@@ -26,7 +26,17 @@ use crate::topology::{NetError, Topology};
 pub struct Cluster<O> {
     outputs: mpsc::Receiver<(NodeId, O)>,
     handles: Vec<NodeHandle>,
+    /// Retained for node restarts: the shared output sender, the addresses
+    /// every node listens on, and the link setup (conditioners, metrics,
+    /// cut flags) a replacement node re-joins.
+    tx: mpsc::Sender<(NodeId, O)>,
+    topology: Topology,
+    setup: LinkSetup,
 }
+
+/// How long a restart will wait out `AddrInUse` while the killed node's
+/// accept loop releases the listen port (one ≤20 ms poll, plus OS lag).
+const REBIND_WINDOW: Duration = Duration::from_secs(5);
 
 /// What [`Cluster::spawn_submitting`] yields: the cluster plus one
 /// [`SubmitHandle`] per node (indexed by [`NodeId`]).
@@ -129,7 +139,8 @@ impl ClusterBuilder {
             )?;
             handles.push(handle);
         }
-        Ok((Cluster { outputs: rx, handles }, setup.control()))
+        let control = setup.control();
+        Ok((Cluster { outputs: rx, handles, tx, topology, setup }, control))
     }
 
     /// Like [`ClusterBuilder::spawn`] for [`Submitter`] nodes: also
@@ -166,7 +177,8 @@ impl ClusterBuilder {
             handles.push(handle);
             submitters.push(submit);
         }
-        Ok(((Cluster { outputs: rx, handles }, submitters), setup.control()))
+        let control = setup.control();
+        Ok(((Cluster { outputs: rx, handles, tx, topology, setup }, submitters), control))
     }
 }
 
@@ -206,6 +218,91 @@ impl<O> Cluster<O> {
         F: FnMut(NodeId) -> N,
     {
         ClusterBuilder::new(n).spawn_submitting(make).map(|(cluster, _)| cluster)
+    }
+
+    /// Stops node `id` abruptly — the in-process stand-in for `kill -9`:
+    /// its threads wind down without any shutdown protocol, sockets break
+    /// mid-stream, and nothing is flushed that was not already flushed.
+    /// The rest of the cluster keeps running; peers' link supervisors
+    /// buffer, re-dial, and re-handshake on their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn kill(&self, id: NodeId) {
+        self.handles[id.index()].abort();
+    }
+
+    /// Restarts slot `id` with the state machine `node` — the
+    /// crash-recovery path. The old node (if still running) is killed, the
+    /// listen address is re-bound (waiting out the dying accept loop's
+    /// `AddrInUse` window), and `node` takes over the slot: same address,
+    /// same output channel, same link plan and metrics. A durable `node`
+    /// restored from disk announces its bumped incarnation in every
+    /// handshake, so peers drop frames buffered for its previous life.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the address cannot be re-bound within the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn restart_node<N>(&mut self, id: NodeId, node: N) -> Result<(), NetError>
+    where
+        N: Node<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        O: Send + 'static,
+    {
+        self.handles[id.index()].abort();
+        let listener = self.topology.bind_retry(id, REBIND_WINDOW)?;
+        let (handle, _events) = run_node_inner::<N, std::convert::Infallible>(
+            node,
+            id,
+            listener,
+            self.topology.clone(),
+            self.tx.clone(),
+            self.setup.clone(),
+            |_, never| match never {},
+        )?;
+        self.handles[id.index()] = handle;
+        Ok(())
+    }
+
+    /// Like [`Cluster::restart_node`] for [`Submitter`] nodes: the
+    /// replacement also gets a fresh [`SubmitHandle`] (handles of the
+    /// killed node are dead and return [`crate::SubmitClosed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::restart_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn restart_submitter<N>(
+        &mut self,
+        id: NodeId,
+        node: N,
+    ) -> Result<SubmitHandle<N::Request>, NetError>
+    where
+        N: Submitter<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        N::Request: Send + 'static,
+        O: Send + 'static,
+    {
+        self.handles[id.index()].abort();
+        let listener = self.topology.bind_retry(id, REBIND_WINDOW)?;
+        let (handle, submit) = run_submitter_inner(
+            node,
+            id,
+            listener,
+            self.topology.clone(),
+            self.tx.clone(),
+            self.setup.clone(),
+        )?;
+        self.handles[id.index()] = handle;
+        Ok(submit)
     }
 
     /// Waits for the next protocol output from any node.
@@ -271,7 +368,8 @@ impl<O> ShardedCluster<O> {
         let (merged_tx, merged) = mpsc::channel();
         let mut handles = Vec::with_capacity(k);
         for j in 0..k {
-            let Cluster { outputs, handles: shard_handles } = Cluster::spawn(n, |id| make(j, id))?;
+            let Cluster { outputs, handles: shard_handles, .. } =
+                Cluster::spawn(n, |id| make(j, id))?;
             handles.push(shard_handles);
             // Forwarder: tags the shard's outputs and exits when its node
             // threads stop (their senders drop); once every forwarder is

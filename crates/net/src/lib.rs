@@ -23,9 +23,12 @@
 //!   drop probability, and scripted partition windows — so one scenario
 //!   runs identically in virtual and wall-clock time, and [`NetControl`]
 //!   can kill live sockets mid-run;
-//! * a connection is an **authenticated channel**: the 2-byte hello frame
-//!   names the sender, and the process trusts the OS connection thereafter
-//!   — the paper's channel model, with no signatures anywhere;
+//! * a connection is an **authenticated channel**: the 10-byte hello
+//!   names the sender and its durable incarnation, the acceptor acks with
+//!   its own, and the process trusts the OS connection thereafter — the
+//!   paper's channel model, with no signatures anywhere; an incarnation
+//!   that advanced since the last handshake fences off frames buffered
+//!   for the peer's previous life;
 //! * messages travel as length-prefixed frames ([`tetrabft_wire::frame`])
 //!   of the hand-rolled wire encoding;
 //! * protocol ticks map to milliseconds (a `tetrabft::Params` built with

@@ -26,6 +26,7 @@ pub(crate) struct NetMetrics {
     pub frames_resent: AtomicU64,
     pub frames_dropped: AtomicU64,
     pub frames_shed: AtomicU64,
+    pub frames_dropped_stale: AtomicU64,
 }
 
 impl NetMetrics {
@@ -35,6 +36,7 @@ impl NetMetrics {
             frames_resent: self.frames_resent.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
             frames_shed: self.frames_shed.load(Ordering::Relaxed),
+            frames_dropped_stale: self.frames_dropped_stale.load(Ordering::Relaxed),
         }
     }
 }
@@ -53,6 +55,11 @@ pub struct NetStats {
     /// slow, down, or severed link outlasting 4096 queued frames); a shed
     /// frame is lost like a policy drop and recovered via view change.
     pub frames_shed: u64,
+    /// Buffered frames discarded because the handshake showed the peer
+    /// restarted (its incarnation counter advanced): pre-crash frames
+    /// addressed a state the peer no longer holds, and replaying them
+    /// would resurrect a conversation the restart ended.
+    pub frames_dropped_stale: u64,
 }
 
 /// Handle to a running cluster's link layer: aggregated [`NetStats`] and

@@ -17,7 +17,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -312,9 +312,14 @@ where
     let n = topology.len();
     let stop = Arc::new(AtomicBool::new(false));
     let (event_tx, event_rx) = mpsc::channel::<Event<N::Msg, R>>();
+    // Captured before the node moves into its thread: announced in every
+    // outbound hello and echoed as the handshake ack, so peers can fence
+    // frames buffered for a previous incarnation of this node.
+    let my_incarnation = node.incarnation();
 
-    // Accept loop: each inbound connection announces its sender id in a
-    // 2-byte hello, then streams frames. The connection *is* the
+    // Accept loop: each inbound connection announces its sender id and
+    // incarnation in a 10-byte hello and receives this node's incarnation
+    // as an 8-byte ack, then streams frames. The connection *is* the
     // authenticated channel. Non-blocking accept so the thread (and the
     // bound socket) actually go away when the node is stopped. A peer may
     // reconnect any number of times; each connection gets a fresh reader
@@ -329,7 +334,7 @@ where
                 let _ = stream.set_nonblocking(false);
                 let tx = accept_tx.clone();
                 thread::spawn(move || {
-                    let _ = read_peer(stream, me, n, tx);
+                    let _ = read_peer(stream, me, my_incarnation, n, tx);
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -361,6 +366,7 @@ where
         writers.insert(peer, tx);
         let cfg = LinkConfig {
             me,
+            my_incarnation,
             addr: *addr,
             conditioner: links.conditioner(me, peer),
             cut: links.cut_flag(me, peer),
@@ -452,12 +458,15 @@ fn run_timers<M, R>(rx: mpsc::Receiver<Arming>, events: mpsc::Sender<Event<M, R>
 fn read_peer<M: Wire, R>(
     mut stream: TcpStream,
     me: NodeId,
+    my_incarnation: u64,
     n: usize,
     events: mpsc::Sender<Event<M, R>>,
 ) -> io::Result<()> {
-    let mut hello = [0u8; 2];
+    let mut hello = [0u8; 10];
     stream.read_exact(&mut hello)?;
-    let from = NodeId(u16::from_be_bytes(hello));
+    let from = NodeId(u16::from_be_bytes([hello[0], hello[1]]));
+    // (The dialer's incarnation, hello[2..10], is carried for symmetry and
+    // future inbound fencing; attribution alone doesn't need it.)
     // The hello is a claim, and on a real (non-localhost) topology anything
     // can reach the listen port: a claimed id outside the cluster — or our
     // own, which only the in-process loopback path may use — would index
@@ -465,6 +474,10 @@ fn read_peer<M: Wire, R>(
     if from.index() >= n || from == me {
         return Ok(());
     }
+    // Ack with our incarnation: the dialer's supervisor compares it against
+    // the one it last saw and discards frames buffered for a previous life
+    // of this node.
+    stream.write_all(&my_incarnation.to_be_bytes())?;
     let mut decoder = FrameDecoder::new();
     let mut buf = vec![0u8; 64 * 1024];
     loop {

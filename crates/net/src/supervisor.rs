@@ -6,9 +6,16 @@
 //!
 //! * **dial with capped exponential backoff** — peers boot in any order
 //!   and may vanish mid-run; retries start at 10 ms and cap at 1 s;
-//! * **re-handshake** — every (re)connection opens with the 2-byte hello
-//!   that names the sender, so the receiving side can always attribute
-//!   the stream;
+//! * **re-handshake with incarnation exchange** — every (re)connection
+//!   opens with a 10-byte hello (sender id + sender incarnation) and waits
+//!   for the acceptor's 8-byte incarnation ack, so the receiving side can
+//!   always attribute the stream *and* both sides learn whether the other
+//!   restarted from disk since they last spoke;
+//! * **stale-frame fencing** — when the ack shows the peer's incarnation
+//!   advanced (it crashed and restarted), every frame buffered for the
+//!   previous incarnation is discarded and counted
+//!   (`NetStats::frames_dropped_stale`) instead of being replayed into
+//!   the peer's freshly restored state;
 //! * **buffered resume** — frames are held in a bounded queue
 //!   ([`MAX_BUFFERED_FRAMES`] per link; beyond that the oldest is shed
 //!   and counted) and only retired once a flush confirms them; anything
@@ -26,7 +33,7 @@
 //! [`LinkPlan`]: tetrabft_sim::LinkPlan
 
 use std::collections::VecDeque;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -52,9 +59,16 @@ const DIAL_TIMEOUT: Duration = Duration::from_millis(250);
 /// noticed promptly even on an idle link.
 const POLL: Duration = Duration::from_millis(25);
 
+/// Cap on waiting for the acceptor's incarnation ack: an unresponsive or
+/// pre-handshake-era peer must not wedge the supervisor loop.
+const ACK_TIMEOUT: Duration = Duration::from_millis(500);
+
 /// One directed link's static configuration.
 pub(crate) struct LinkConfig {
     pub me: NodeId,
+    /// This node's own incarnation (0 for non-durable nodes), announced in
+    /// every hello so the far side can fence *our* stale state too.
+    pub my_incarnation: u64,
     pub addr: SocketAddr,
     pub conditioner: EdgeConditioner,
     /// One-shot fault injection: when set, the live socket is killed (and
@@ -70,6 +84,8 @@ pub(crate) fn run_link(mut cfg: LinkConfig, rx: mpsc::Receiver<Vec<Arc<Vec<u8>>>
     let mut pending: VecDeque<(Instant, Arc<Vec<u8>>)> = VecDeque::new();
     let mut conn: Option<io::BufWriter<TcpStream>> = None;
     let mut connected_once = false;
+    // The peer incarnation the buffered frames were produced against.
+    let mut peer_incarnation: Option<u64> = None;
     let mut backoff = BACKOFF_MIN;
     let mut next_dial = Instant::now();
 
@@ -87,11 +103,24 @@ pub(crate) fn run_link(mut cfg: LinkConfig, rx: mpsc::Receiver<Vec<Arc<Vec<u8>>>
             // and the cluster is warm before the first broadcast.
             if conn.is_none() && now >= next_dial {
                 match dial(&cfg) {
-                    Ok(writer) => {
+                    Ok((writer, peer_inc)) => {
                         if connected_once {
                             cfg.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
                         }
                         connected_once = true;
+                        // Resume is gated on the handshake: if the peer
+                        // restarted since these frames were queued, they
+                        // address a dead incarnation — drop them instead
+                        // of replaying pre-crash traffic into the peer's
+                        // restored state (it pulls what it needs via
+                        // catch-up).
+                        if peer_incarnation.is_some_and(|prev| peer_inc > prev) {
+                            cfg.metrics
+                                .frames_dropped_stale
+                                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+                            pending.clear();
+                        }
+                        peer_incarnation = Some(peer_inc);
                         backoff = BACKOFF_MIN;
                         conn = Some(writer);
                     }
@@ -177,14 +206,24 @@ fn enqueue(
     }
 }
 
-fn dial(cfg: &LinkConfig) -> io::Result<io::BufWriter<TcpStream>> {
-    let stream = TcpStream::connect_timeout(&cfg.addr, DIAL_TIMEOUT)?;
+fn dial(cfg: &LinkConfig) -> io::Result<(io::BufWriter<TcpStream>, u64)> {
+    let mut stream = TcpStream::connect_timeout(&cfg.addr, DIAL_TIMEOUT)?;
     let _ = stream.set_nodelay(true);
-    // Re-handshake: every connection opens by naming the sender; the 2-byte
-    // hello coalesces into the first flushed batch.
-    let mut writer = io::BufWriter::with_capacity(64 * 1024, stream);
-    writer.write_all(&cfg.me.0.to_be_bytes())?;
-    Ok(writer)
+    // Re-handshake: every connection opens by naming the sender and its
+    // incarnation. Written (and implicitly flushed) on the raw stream —
+    // the acceptor will not ack until it sees the hello, so buffering it
+    // behind the first batch would deadlock right here.
+    let mut hello = [0u8; 10];
+    hello[..2].copy_from_slice(&cfg.me.0.to_be_bytes());
+    hello[2..].copy_from_slice(&cfg.my_incarnation.to_be_bytes());
+    stream.write_all(&hello)?;
+    // The ack carries the acceptor's incarnation; a bounded wait so a
+    // stalled peer costs one backoff step, not a wedged supervisor.
+    stream.set_read_timeout(Some(ACK_TIMEOUT))?;
+    let mut ack = [0u8; 8];
+    stream.read_exact(&mut ack)?;
+    stream.set_read_timeout(None)?;
+    Ok((io::BufWriter::with_capacity(64 * 1024, stream), u64::from_be_bytes(ack)))
 }
 
 fn teardown(conn: &mut Option<io::BufWriter<TcpStream>>) {

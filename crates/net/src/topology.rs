@@ -12,6 +12,7 @@ use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::str::FromStr;
+use std::time::{Duration, Instant};
 
 use tetrabft_types::NodeId;
 
@@ -192,6 +193,37 @@ impl Topology {
     pub fn bind(&self, me: NodeId) -> Result<TcpListener, NetError> {
         let addr = self.addr(me);
         TcpListener::bind(addr).map_err(|source| NetError::Bind { addr, source })
+    }
+
+    /// Binds node `me`'s address like [`Topology::bind`], but keeps
+    /// retrying `AddrInUse` for up to `window` — the restart path: a node
+    /// rebinding its own port races its dying accept loop, which holds the
+    /// listener for one final ≤20 ms poll (and the OS may lag the release
+    /// slightly further). Any other bind failure still fails immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Bind`] if the address is still in use when the window
+    /// closes, or at once for non-`AddrInUse` failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range.
+    pub fn bind_retry(&self, me: NodeId, window: Duration) -> Result<TcpListener, NetError> {
+        let addr = self.addr(me);
+        let deadline = Instant::now() + window;
+        loop {
+            match TcpListener::bind(addr) {
+                Ok(listener) => return Ok(listener),
+                Err(source) if source.kind() == io::ErrorKind::AddrInUse => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Bind { addr, source });
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(source) => return Err(NetError::Bind { addr, source }),
+            }
+        }
     }
 
     /// Binds every node's address, in id order (in-process clusters on an

@@ -1,0 +1,277 @@
+//! A single append-only CRC-framed log file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use tetrabft_types::FsyncPolicy;
+use tetrabft_wire::Reader;
+
+use crate::crc::crc32;
+use crate::record::{frame, frame_into, scan, MAX_RECORD_BYTES};
+use crate::StoreError;
+
+/// One write-ahead log file: append-only CRC-framed records, torn-tail
+/// truncation on open, optional atomic rewrite (compaction), and the
+/// [`FsyncPolicy`] deciding when appended records are forced to media.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_store::Wal;
+/// use tetrabft_types::FsyncPolicy;
+/// let dir = std::env::temp_dir().join(format!("tetrabft-wal-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("demo.wal");
+/// # let _ = std::fs::remove_file(&path);
+/// let (mut wal, restored) = Wal::open(&path, FsyncPolicy::Always)?;
+/// assert!(restored.is_empty());
+/// wal.append(b"record")?;
+/// drop(wal);
+/// let (_, restored) = Wal::open(&path, FsyncPolicy::Always)?;
+/// assert_eq!(restored, vec![b"record".to_vec()]);
+/// # std::fs::remove_file(&path)?;
+/// # Ok::<(), tetrabft_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Length of the valid (scanned or appended) prefix.
+    len: u64,
+    records: u64,
+    pending: u32,
+    policy: FsyncPolicy,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, scans its records,
+    /// and truncates any torn tail. Returns the log handle and every
+    /// payload that survived the scan, in append order.
+    pub fn open(
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+    ) -> Result<(Wal, Vec<Vec<u8>>), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        // truncate(false): existing records are the whole point — the scan
+        // below decides how much of the tail survives.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, valid) = scan(&bytes);
+        let restored: Vec<Vec<u8>> = records.iter().map(|r| r.to_vec()).collect();
+        if valid < bytes.len() {
+            // A torn or corrupt tail: cut back to the last valid record so
+            // future appends extend known-good state, never garbage.
+            file.set_len(valid as u64)?;
+            file.sync_data()?;
+        }
+        let count = restored.len() as u64;
+        Ok((Wal { path, file, len: valid as u64, records: count, pending: 0, policy }, restored))
+    }
+
+    /// Appends one record, returning the file offset its frame starts at.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        debug_assert!((payload.len() as u64) <= MAX_RECORD_BYTES);
+        let framed = frame(payload);
+        // Seek explicitly: open-time truncation (and reads) move the cursor.
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(&framed)?;
+        let offset = self.len;
+        self.len += framed.len() as u64;
+        self.records += 1;
+        self.pending += 1;
+        if self.policy.sync_due(self.pending) {
+            self.sync()?;
+        }
+        Ok(offset)
+    }
+
+    /// Forces everything appended so far to stable media (no-op when
+    /// nothing is pending).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.pending > 0 {
+            self.file.sync_data()?;
+            self.pending = 0;
+        }
+        Ok(())
+    }
+
+    /// Reads back the record whose frame starts at `offset` (as returned
+    /// by [`Wal::append`]), re-verifying its CRC.
+    pub fn read_at(&mut self, offset: u64) -> Result<Vec<u8>, StoreError> {
+        if offset >= self.len {
+            return Err(StoreError::Corrupt("record offset beyond valid prefix"));
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        // Frame header is at most 10 varint bytes; probe those, then
+        // re-seek past the header and read payload + CRC exactly.
+        let mut head = [0u8; 10];
+        let got = read_up_to(&mut self.file, &mut head)?;
+        let mut r = Reader::new(&head[..got]);
+        let len = r.get_varint_u64().map_err(|_| StoreError::Corrupt("torn record header"))?;
+        if len > MAX_RECORD_BYTES {
+            return Err(StoreError::Corrupt("record length out of bounds"));
+        }
+        let header = got - r.remaining();
+        self.file.seek(SeekFrom::Start(offset + header as u64))?;
+        let mut body = vec![0u8; len as usize + 4];
+        self.file.read_exact(&mut body)?;
+        let crc_bytes: [u8; 4] = body[len as usize..].try_into().expect("4 trailing bytes");
+        body.truncate(len as usize);
+        if u32::from_be_bytes(crc_bytes) != crc32(&body) {
+            return Err(StoreError::Corrupt("stored record failed its checksum"));
+        }
+        Ok(body)
+    }
+
+    /// Atomically replaces the log's content with `records` (compaction):
+    /// the replacement is written to a sibling temp file, synced, and
+    /// renamed over the log, so a crash leaves either the old or the new
+    /// log — never a hybrid.
+    pub fn rewrite<I, B>(&mut self, records: I) -> Result<(), StoreError>
+    where
+        I: IntoIterator<Item = B>,
+        B: AsRef<[u8]>,
+    {
+        let tmp = self.path.with_extension("tmp");
+        let mut bytes = Vec::new();
+        let mut count = 0u64;
+        for record in records {
+            frame_into(&mut bytes, record.as_ref());
+            count += 1;
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.len = bytes.len() as u64;
+        self.records = count;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Byte length of the valid log.
+    #[inline]
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Number of records in the log.
+    #[inline]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's path.
+    #[inline]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads up to `buf.len()` bytes, tolerating EOF (returns bytes read).
+fn read_up_to(file: &mut File, buf: &mut [u8]) -> Result<usize, StoreError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tetrabft-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.wal"))
+    }
+
+    #[test]
+    fn append_reopen_restores_in_order() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        for i in 0..10u8 {
+            wal.append(&[i; 3]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (wal, restored) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(restored.len(), 10);
+        assert_eq!(wal.records(), 10);
+        for (i, r) in restored.iter().enumerate() {
+            assert_eq!(r, &vec![i as u8; 3]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_at_returns_the_exact_record() {
+        let path = temp_path("read-at");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        let mut offsets = Vec::new();
+        for i in 0..5u64 {
+            offsets.push(wal.append(&i.to_be_bytes()).unwrap());
+        }
+        // Interleave reads and appends: the shared cursor must not corrupt
+        // either direction.
+        for (i, off) in offsets.iter().enumerate() {
+            assert_eq!(wal.read_at(*off).unwrap(), (i as u64).to_be_bytes());
+            wal.append(b"interleaved").unwrap();
+        }
+        assert!(wal.read_at(wal.len_bytes()).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        wal.append(b"keep me").unwrap();
+        let keep = wal.len_bytes();
+        wal.append(b"torn away").unwrap();
+        drop(wal);
+        // Tear the final record by one byte.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let (wal, restored) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(restored, vec![b"keep me".to_vec()]);
+        assert_eq!(wal.len_bytes(), keep, "file physically truncated to the valid prefix");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_compacts_atomically() {
+        let path = temp_path("rewrite");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        for i in 0..100u32 {
+            wal.append(&i.to_be_bytes()).unwrap();
+        }
+        let before = wal.len_bytes();
+        wal.rewrite([b"only".as_slice(), b"two".as_slice()]).unwrap();
+        assert!(wal.len_bytes() < before);
+        assert_eq!(wal.records(), 2);
+        // Appends keep working on the fresh handle.
+        wal.append(b"three").unwrap();
+        drop(wal);
+        let (_, restored) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(restored, vec![b"only".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! Torn-write recovery coverage (crash mid-append): truncate and corrupt
+//! the WAL tail at **every byte offset of the final record** and assert
+//! recovery truncates back to the last valid record — never mis-decodes,
+//! never refuses to open, and rejoins with exactly the surviving state.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tetrabft_store::NodeStore;
+use tetrabft_types::{FsyncPolicy, Phase, Slot, Value, View, VoteBook};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tetrabft-torn-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn book(seed: u64) -> VoteBook {
+    let mut b = VoteBook::new();
+    b.record(Phase::VOTE1, View(seed), Value::from_u64(seed));
+    b.record(Phase::VOTE2, View(seed), Value::from_u64(seed + 1));
+    b
+}
+
+/// Builds a store with two vote records (slots 5 and 6) and two chain
+/// blocks, returning its directory.
+fn seeded_store(tag: &str) -> PathBuf {
+    let dir = temp_dir(tag);
+    let mut store = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+    store.append_block(Slot(1), 11, b"block-one").unwrap();
+    store.append_block(Slot(2), 22, b"block-two").unwrap();
+    store.record_votes(Slot(5), View(1), Slot(2), &book(5)).unwrap();
+    store.record_votes(Slot(6), View(0), Slot(2), &book(6)).unwrap();
+    store.sync().unwrap();
+    dir
+}
+
+/// Byte length of the final record of `file`, assuming `keep` bytes of
+/// earlier records.
+fn tail_len(file: &PathBuf, keep: u64) -> u64 {
+    fs::metadata(file).unwrap().len() - keep
+}
+
+#[test]
+fn vote_wal_truncated_at_every_offset_recovers_to_slot_five() {
+    // Prefix = everything up to the slot-6 record; compute it by writing
+    // the same store twice, once without the final record.
+    let short = {
+        let dir = temp_dir("vote-short");
+        let mut s = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        s.append_block(Slot(1), 11, b"block-one").unwrap();
+        s.append_block(Slot(2), 22, b"block-two").unwrap();
+        s.record_votes(Slot(5), View(1), Slot(2), &book(5)).unwrap();
+        let len = s.live_bytes();
+        fs::remove_dir_all(&dir).unwrap();
+        len
+    };
+    let dir = seeded_store("vote-trunc");
+    let wal = dir.join("votes.wal");
+    let full = fs::read(&wal).unwrap();
+    let tail = tail_len(&wal, short);
+    assert!(tail > 0);
+    for cut in 0..tail {
+        fs::write(&wal, &full[..(short + cut) as usize]).unwrap();
+        let store = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        let restored = store.restored_votes();
+        assert!(restored.contains_key(&5), "cut at +{cut}: slot 5 must survive");
+        assert_eq!(restored[&5].book, book(5), "cut at +{cut}");
+        assert!(
+            !restored.contains_key(&6),
+            "cut at +{cut}: the torn slot-6 record must be dropped whole"
+        );
+        assert_eq!(
+            fs::metadata(&wal).unwrap().len(),
+            short,
+            "cut at +{cut}: the file must be truncated to the valid prefix"
+        );
+    }
+}
+
+#[test]
+fn vote_wal_corrupted_at_every_tail_offset_never_misdecodes() {
+    let dir = seeded_store("vote-corrupt");
+    let wal = dir.join("votes.wal");
+    let full = fs::read(&wal).unwrap();
+    let short = {
+        // The clean prefix ends where the final record's frame begins.
+        let (records, _) = tetrabft_store::record::scan(&full);
+        assert_eq!(records.len(), 2);
+        frame_len(records[0].len()) as u64
+    };
+    for i in short..full.len() as u64 {
+        let mut bent = full.clone();
+        bent[i as usize] ^= 0x5A;
+        fs::write(&wal, &bent).unwrap();
+        let store = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        let restored = store.restored_votes();
+        // The corrupt record must vanish; the clean prefix must survive
+        // bit-for-bit. It must never decode as some third state.
+        assert_eq!(restored.len(), 1, "flip at {i}");
+        assert_eq!(restored[&5].book, book(5), "flip at {i}");
+        assert_eq!(restored[&5].view, View(1), "flip at {i}");
+    }
+}
+
+#[test]
+fn chain_wal_truncated_at_every_tail_offset_recovers_the_prefix() {
+    let dir = seeded_store("chain-trunc");
+    let wal = dir.join("chain.wal");
+    let full = fs::read(&wal).unwrap();
+    let (records, _) = tetrabft_store::record::scan(&full);
+    assert_eq!(records.len(), 2);
+    let short = frame_len(records[0].len()) as u64;
+    for cut in short..full.len() as u64 {
+        fs::write(&wal, &full[..cut as usize]).unwrap();
+        let mut store = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(store.chain_tip(), Some((Slot(1), 11)), "cut at {cut}");
+        let (hash, bytes) = store.block_record(Slot(1)).unwrap().unwrap();
+        assert_eq!((hash, bytes.as_slice()), (11, b"block-one".as_slice()), "cut at {cut}");
+        assert_eq!(store.block_record(Slot(2)).unwrap(), None, "cut at {cut}");
+        // The torn store accepts a clean re-append of the lost block.
+        store.append_block(Slot(2), 22, b"block-two").unwrap();
+        assert_eq!(store.chain_tip(), Some((Slot(2), 22)), "cut at {cut}");
+    }
+}
+
+#[test]
+fn chain_wal_corrupted_mid_tail_is_cut_not_misread() {
+    let dir = seeded_store("chain-corrupt");
+    let wal = dir.join("chain.wal");
+    let full = fs::read(&wal).unwrap();
+    let (records, _) = tetrabft_store::record::scan(&full);
+    let short = frame_len(records[0].len()) as u64;
+    for i in short..full.len() as u64 {
+        let mut bent = full.clone();
+        bent[i as usize] = bent[i as usize].wrapping_add(1);
+        fs::write(&wal, &bent).unwrap();
+        let store = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(store.chain_tip(), Some((Slot(1), 11)), "flip at {i}");
+        assert_eq!(store.chain_len(), 1, "flip at {i}");
+    }
+}
+
+#[test]
+fn torn_meta_file_restarts_the_incarnation_counter_cleanly() {
+    let dir = seeded_store("meta-torn");
+    let meta = dir.join("meta");
+    let full = fs::read(&meta).unwrap();
+    for cut in 0..full.len() {
+        fs::write(&meta, &full[..cut]).unwrap();
+        let store = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        // A torn meta cannot prove any previous incarnation; the counter
+        // restarts at 1 rather than refusing to open. Chain state is
+        // untouched by the meta file.
+        assert_eq!(store.incarnation(), 1, "cut at {cut}");
+        assert_eq!(store.chain_tip(), Some((Slot(2), 22)), "cut at {cut}");
+    }
+}
+
+/// Mirrors the store's internal frame arithmetic: varint length prefix +
+/// payload + 4-byte CRC.
+fn frame_len(payload: usize) -> usize {
+    tetrabft_wire::varint_len(payload as u64) + payload + 4
+}

@@ -1,0 +1,68 @@
+//! Durability policy for the write-ahead store.
+
+/// When the durable store forces written records to stable media.
+///
+/// The paper's storage claim is about *size* (six registers per live
+/// slot); this knob governs *when* those bytes are `fsync`ed. All three
+/// policies write every record to the OS immediately — they differ only
+/// in how much of the tail a power loss may roll back (a plain process
+/// crash loses nothing under any policy, because the bytes are already
+/// in the kernel).
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_types::FsyncPolicy;
+/// assert!(FsyncPolicy::Always.sync_due(1));
+/// assert!(!FsyncPolicy::Never.sync_due(1_000));
+/// assert!(FsyncPolicy::Batch(8).sync_due(8));
+/// assert!(!FsyncPolicy::Batch(8).sync_due(7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: a power loss rolls back at most the
+    /// torn tail of the final record.
+    Always,
+    /// `fsync` once every `n` records: bounded rollback window, a small
+    /// fraction of `Always`'s latency cost.
+    Batch(u32),
+    /// Never `fsync` explicitly; durability rides on the OS page cache.
+    /// Survives process crashes, not power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// `true` if a sync is due after `pending` unsynced records.
+    #[inline]
+    pub fn sync_due(self, pending: u32) -> bool {
+        match self {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch(n) => pending >= n.max(1),
+            FsyncPolicy::Never => false,
+        }
+    }
+}
+
+impl Default for FsyncPolicy {
+    /// `Batch(32)`: bounded power-loss rollback without paying a sync on
+    /// every vote.
+    fn default() -> Self {
+        FsyncPolicy::Batch(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_zero_behaves_like_always() {
+        assert!(FsyncPolicy::Batch(0).sync_due(1));
+        assert!(!FsyncPolicy::Batch(0).sync_due(0));
+    }
+
+    #[test]
+    fn default_is_batched() {
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::Batch(32));
+    }
+}

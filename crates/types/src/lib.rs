@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fsync;
 mod ids;
 mod phase;
 mod value;
 mod votebook;
 
 pub use config::{Config, ConfigError};
+pub use fsync::FsyncPolicy;
 pub use ids::{NodeId, Slot, View};
 pub use phase::Phase;
 pub use value::Value;

@@ -137,6 +137,32 @@ impl VoteBook {
         // 6 registers, each an optional (view: u64, value: 8 bytes) + tag.
         6 * (1 + 8 + 8)
     }
+
+    /// The six registers in persistence order: highest vote-1..4 followed
+    /// by the second-highest different-valued vote-1/vote-2. Together with
+    /// [`VoteBook::from_registers`] this is the durable-store boundary —
+    /// exactly what the paper says a node must keep across crashes.
+    #[inline]
+    pub fn registers(&self) -> [Option<VoteInfo>; 6] {
+        [
+            self.highest[0],
+            self.highest[1],
+            self.highest[2],
+            self.highest[3],
+            self.prev[0],
+            self.prev[1],
+        ]
+    }
+
+    /// Rebuilds a book from the six registers of [`VoteBook::registers`].
+    ///
+    /// No invariant repair is attempted: the registers are trusted to come
+    /// from a book this process (or a crashed ancestor) wrote, so restore
+    /// is byte-faithful — `from_registers(b.registers()) == b`.
+    #[inline]
+    pub fn from_registers(regs: [Option<VoteInfo>; 6]) -> Self {
+        VoteBook { highest: [regs[0], regs[1], regs[2], regs[3]], prev: [regs[4], regs[5]] }
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +268,21 @@ mod tests {
         assert_eq!(p_hi, Some(VoteInfo::new(View(1), v(1))));
         assert_eq!(p_prev, None);
         assert_eq!(p_v4, Some(VoteInfo::new(View(4), v(4))));
+    }
+
+    #[test]
+    fn register_roundtrip_is_byte_faithful() {
+        let mut book = VoteBook::new();
+        book.record(Phase::VOTE1, View(1), v(1));
+        book.record(Phase::VOTE1, View(2), v(2));
+        book.record(Phase::VOTE2, View(3), v(3));
+        book.record(Phase::VOTE2, View(5), v(4));
+        book.record(Phase::VOTE3, View(4), v(5));
+        book.record(Phase::VOTE4, View(4), v(5));
+        let restored = VoteBook::from_registers(book.registers());
+        assert_eq!(restored, book);
+        // An empty book roundtrips too.
+        assert_eq!(VoteBook::from_registers(VoteBook::new().registers()), VoteBook::new());
     }
 
     #[test]

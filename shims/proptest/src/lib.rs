@@ -12,8 +12,15 @@
 //!
 //! Semantics differ from real proptest in two deliberate ways: sampling is
 //! deterministic per test (seeded from the test's module path and name, so
-//! failures reproduce exactly), and there is **no shrinking** — a failing
-//! case panics with the sampled inputs' debug output instead.
+//! failures reproduce exactly), and shrinking is a **bounded greedy pass**
+//! rather than a full shrink tree — on failure the runner asks each
+//! strategy for smaller candidates ([`Strategy::shrink`]: integers halve
+//! toward their lower bound, vectors truncate and shrink elementwise,
+//! options drop to `None`, tuples shrink one component at a time), keeps
+//! any candidate that still fails, and stops after a fixed candidate
+//! budget — the panic reports both the original and the minimized inputs.
+//! `prop_map` and `prop_oneof!` outputs do not shrink (a map cannot be
+//! inverted, a union does not know which arm produced the value).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -100,15 +107,25 @@ pub mod test_runner {
 
 /// A generator of values of type `Self::Value`.
 ///
-/// This shim's strategies are pure sampling functions; there is no shrink
-/// tree. `sample` takes `&self` so one strategy can generate many values
-/// (e.g. inside [`collection::vec`]).
+/// This shim's strategies are sampling functions with an optional
+/// one-step shrinker; there is no persistent shrink tree. `sample` takes
+/// `&self` so one strategy can generate many values (e.g. inside
+/// [`collection::vec`]).
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of a failing `value`, most
+    /// aggressive first. The runner keeps a candidate only if it still
+    /// fails, so candidates need not stay inside the strategy's support
+    /// in spirit — but every implementation here does. Default: no
+    /// candidates (the value is already minimal or cannot be shrunk).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -124,7 +141,23 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    fn shrink_dyn(&self, value: &T) -> Vec<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -147,8 +180,8 @@ where
     }
 }
 
-/// A type-erased strategy.
-pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+/// A type-erased strategy. Boxing preserves the inner shrinker.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
@@ -160,7 +193,11 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut TestRng) -> T {
-        (self.0)(rng)
+        self.0.sample_dyn(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -200,6 +237,11 @@ impl<T: Clone> Strategy for Just<T> {
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Smaller variants of a failing value (see [`Strategy::shrink`]).
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -208,6 +250,19 @@ macro_rules! impl_arbitrary_int {
             #[allow(clippy::cast_possible_truncation)]
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                // Toward zero: the origin, the halfway point, one step.
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                let mut out = vec![0, v / 2, step];
+                out.dedup();
+                out.retain(|c| *c != v);
+                out
             }
         }
     )*};
@@ -218,6 +273,14 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -235,6 +298,10 @@ impl<A: Arbitrary> Strategy for Any<A> {
 
     fn sample(&self, rng: &mut TestRng) -> A {
         A::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &A) -> Vec<A> {
+        value.shrink()
     }
 }
 
@@ -254,6 +321,13 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as i128 - lo) as u64;
                 (lo + rng.below(span) as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -271,15 +345,38 @@ macro_rules! impl_range_strategy {
                 };
                 (lo + offset as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Candidates between a range's lower bound and a failing value: the
+/// bound itself, the halfway point, and one step down — the integer
+/// shrink ladder every range strategy shares.
+fn shrink_toward(lo: i128, v: i128) -> Vec<i128> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo, lo + (v - lo) / 2, v - 1];
+    out.dedup();
+    out.retain(|c| *c != v);
+    out
+}
+
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($idx:tt => $name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -287,16 +384,29 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.sample(rng),)+)
             }
+
+            // One component at a time, the others held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut tuple = value.clone();
+                        tuple.$idx = cand;
+                        out.push(tuple);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(0 => A);
+impl_tuple_strategy!(0 => A, 1 => B);
+impl_tuple_strategy!(0 => A, 1 => B, 2 => C);
+impl_tuple_strategy!(0 => A, 1 => B, 2 => C, 3 => D);
+impl_tuple_strategy!(0 => A, 1 => B, 2 => C, 3 => D, 4 => E);
+impl_tuple_strategy!(0 => A, 1 => B, 2 => C, 3 => D, 4 => E, 5 => F);
 
 /// `Option` strategies.
 pub mod option {
@@ -319,6 +429,16 @@ pub mod option {
                 None
             } else {
                 Some(self.0.sample(rng))
+            }
+        }
+
+        // `None` first (the biggest step down), then the inner ladder.
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(inner) => std::iter::once(None)
+                    .chain(self.0.shrink(inner).into_iter().map(Some))
+                    .collect(),
             }
         }
     }
@@ -368,13 +488,38 @@ pub mod collection {
         VecStrategy { elem, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo) as u64 + 1;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+
+        // Truncations first (never below the length floor), then each
+        // element's first shrink candidate in place.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            let half = self.size.lo + len.saturating_sub(self.size.lo) / 2;
+            for shorter in [self.size.lo, half, len.saturating_sub(1)] {
+                let dup = out.iter().any(|c: &Vec<_>| c.len() == shorter);
+                if shorter >= self.size.lo && shorter < len && !dup {
+                    out.push(value[..shorter].to_vec());
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                if let Some(cand) = self.elem.shrink(elem).into_iter().next() {
+                    let mut copy = value.clone();
+                    copy[i] = cand;
+                    out.push(copy);
+                }
+            }
+            out
         }
     }
 }
@@ -477,6 +622,22 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
             let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let strat = ($(($strat),)+);
+            // Rebinds the sampled tuple through the user's patterns and
+            // runs the body; shrinking re-invokes it on candidates. The
+            // helper pins the closure's argument to the strategy's value
+            // type so the body type-checks before the first call.
+            fn __typed<V, F>(_: &impl $crate::Strategy<Value = V>, f: F) -> F
+            where
+                F: Fn(&V) -> ::std::result::Result<(), $crate::TestCaseError>,
+            {
+                f
+            }
+            let run = __typed(&strat, |vals| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(vals);
+                $body
+                ::std::result::Result::Ok(())
+            });
             let mut accepted: u32 = 0;
             let mut attempts: u32 = 0;
             // Give rejection-heavy properties (prop_assume!) room to find
@@ -484,21 +645,48 @@ macro_rules! __proptest_impl {
             let max_attempts = config.cases.saturating_mul(16).max(64);
             while accepted < config.cases && attempts < max_attempts {
                 attempts += 1;
-                let case = (|rng: &mut $crate::TestRng| -> ::std::result::Result<(), $crate::TestCaseError> {
-                    $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
-                    $body
-                    ::std::result::Result::Ok(())
-                })(&mut rng);
-                match case {
+                let vals = $crate::Strategy::sample(&strat, &mut rng);
+                match run(&vals) {
                     ::std::result::Result::Ok(()) => accepted += 1,
                     ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
                     ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        // Bounded greedy shrink: keep the first candidate
+                        // that still fails, restart from it, give up once
+                        // the candidate budget is spent or no candidate
+                        // reproduces the failure.
+                        let mut best = ::std::clone::Clone::clone(&vals);
+                        let mut best_msg = msg;
+                        let mut budget: u32 = 64;
+                        'shrinking: loop {
+                            let mut improved = false;
+                            for cand in $crate::Strategy::shrink(&strat, &best) {
+                                if budget == 0 {
+                                    break 'shrinking;
+                                }
+                                budget -= 1;
+                                if let ::std::result::Result::Err($crate::TestCaseError::Fail(m)) =
+                                    run(&cand)
+                                {
+                                    best = cand;
+                                    best_msg = m;
+                                    improved = true;
+                                    break;
+                                }
+                            }
+                            if !improved {
+                                break;
+                            }
+                        }
                         panic!(
-                            "property `{}` failed at case {} (attempt {}): {}",
+                            "property `{}` failed at case {} (attempt {})\n\
+                             original input: {:?}\n\
+                             minimal failing input: {:?}\n{}",
                             stringify!($name),
                             accepted,
                             attempts,
-                            msg
+                            vals,
+                            best,
+                            best_msg
                         );
                     }
                 }
@@ -581,5 +769,73 @@ mod tests {
             prop_assert_eq!(pair.1, pair.1);
             prop_assert_ne!(pair.1, 0);
         }
+    }
+
+    #[test]
+    fn range_shrink_steps_toward_the_lower_bound() {
+        let strat = 5u64..100;
+        assert_eq!(strat.shrink(&80), vec![5, 42, 79]);
+        assert_eq!(strat.shrink(&6), vec![5]);
+        assert!(strat.shrink(&5).is_empty(), "the lower bound is minimal");
+        let signed = -8i32..=8;
+        for cand in signed.shrink(&8) {
+            assert!((-8..8).contains(&cand), "{cand} escaped the range");
+        }
+    }
+
+    #[test]
+    fn any_shrinks_toward_zero_and_false() {
+        assert_eq!(any::<u64>().shrink(&9), vec![0, 4, 8]);
+        assert!(any::<u64>().shrink(&0).is_empty());
+        assert_eq!(any::<i32>().shrink(&-7), vec![0, -3, -6]);
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert!(any::<bool>().shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_truncates_but_respects_the_length_floor() {
+        let strat = crate::collection::vec(0u8..10, 2..=6);
+        let failing = vec![7u8, 7, 7, 7, 7, 7];
+        let candidates = strat.shrink(&failing);
+        assert!(candidates.iter().all(|c| c.len() >= 2), "floor violated: {candidates:?}");
+        assert!(candidates.contains(&vec![7u8, 7]), "must try the floor truncation");
+        assert!(
+            candidates.contains(&vec![0u8, 7, 7, 7, 7, 7]),
+            "must try shrinking elements in place"
+        );
+        assert!(strat.shrink(&vec![0u8, 0]).is_empty(), "floor of zeros is minimal");
+    }
+
+    #[test]
+    fn option_and_tuple_and_boxed_shrinks_compose() {
+        let opt = crate::option::of(1u8..50);
+        assert_eq!(opt.shrink(&Some(10)), vec![None, Some(1), Some(5), Some(9)]);
+        assert!(opt.shrink(&None).is_empty());
+        let tuple = (0u8..10, 0u8..10);
+        let cands = tuple.shrink(&(4, 0));
+        assert!(cands.iter().all(|&(_, b)| b == 0), "minimal component must stay fixed");
+        assert!(cands.contains(&(0, 0)) && cands.contains(&(2, 0)) && cands.contains(&(3, 0)));
+        let boxed = (3u64..90).boxed();
+        assert_eq!(boxed.shrink(&60), vec![3, 31, 59], "boxing must preserve the shrinker");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        // No `#[test]`: this property exists to fail and is driven by
+        // `failing_property_reports_the_minimized_input` below.
+        fn shrink_probe(x in 0u64..1000) {
+            prop_assert!(x < 17, "x = {} reached the forbidden zone", x);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_the_minimized_input() {
+        let payload = std::panic::catch_unwind(shrink_probe).expect_err("probe must fail");
+        let msg = payload.downcast_ref::<String>().expect("panic carries a String");
+        assert!(
+            msg.contains("minimal failing input: (17,)"),
+            "greedy shrink must land exactly on the threshold:\n{msg}"
+        );
+        assert!(msg.contains("original input: ("), "the unshrunk case must also be reported");
     }
 }
