@@ -10,7 +10,7 @@
 //! (a faster peer's traffic must not be lost on the instance boundary).
 
 use tetrabft::{Message as CoreMessage, Params, TetraNode};
-use tetrabft_sim::{Action, Context, Dest, Input, Node, WireSize};
+use tetrabft_sim::{Action, ActionBuf, Context, Dest, Input, Node, WireSize};
 use tetrabft_types::{Config, NodeId, Value};
 use tetrabft_wire::{Reader, Wire, WireError, Writer};
 
@@ -77,7 +77,7 @@ impl RepeatedTetra {
     /// messages get instance-tagged, a decision rolls over to the next
     /// instance.
     fn forward(&mut self, input: Input<CoreMessage>, ctx: &mut Ctx<'_>) {
-        let mut buf: Vec<Action<CoreMessage, Value>> = Vec::new();
+        let mut buf: ActionBuf<CoreMessage, Value> = ActionBuf::new();
         {
             let mut inner_ctx = Context::buffered(self.me, self.cfg.n(), ctx.now(), &mut buf);
             self.node.handle(input, &mut inner_ctx);

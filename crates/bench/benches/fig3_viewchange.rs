@@ -9,7 +9,9 @@ use std::collections::BTreeMap;
 
 use tetrabft::Params;
 use tetrabft_multishot::{Finalized, MsMessage, MultiShotNode};
-use tetrabft_sim::{Action, Context, Input, LinkPolicy, Node, SimBuilder, Time, TraceEvent};
+use tetrabft_sim::{
+    Action, ActionBuf, Context, Input, LinkPolicy, Node, SimBuilder, Time, TraceEvent,
+};
 use tetrabft_types::{Config, NodeId};
 
 /// Wraps an honest node but swallows its proposal for one slot — the
@@ -24,7 +26,7 @@ impl Node for SuppressSlot {
     type Output = Finalized;
 
     fn handle(&mut self, input: Input<MsMessage>, ctx: &mut Context<'_, MsMessage, Finalized>) {
-        let mut buf: Vec<Action<MsMessage, Finalized>> = Vec::new();
+        let mut buf: ActionBuf<MsMessage, Finalized> = ActionBuf::new();
         {
             let mut inner_ctx = Context::buffered(ctx.me(), ctx.n(), ctx.now(), &mut buf);
             self.inner.handle(input, &mut inner_ctx);

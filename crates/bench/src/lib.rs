@@ -5,8 +5,14 @@
 //! claim from the text); this library holds the scenario runners they
 //! share. See `EXPERIMENTS.md` for the paper-vs-measured record.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the allocation-counting module implements
+// `GlobalAlloc`, which requires `unsafe` and carries a scoped allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod alloc_count;
+
+pub use alloc_count::{AllocSnapshot, CountingAlloc};
 
 use tetrabft::{Params, TetraNode};
 use tetrabft_baselines::{BlogNode, IthsNode, PbftNode};
@@ -179,8 +185,8 @@ impl tetrabft_sim::Node for StalledCommitPbft {
         ctx: &mut tetrabft_sim::Context<'_, Self::Msg, Value>,
     ) {
         use tetrabft_baselines::pbft::PbftMsg;
-        use tetrabft_sim::{Action, Context, Dest};
-        let mut buf: Vec<Action<Self::Msg, Value>> = Vec::new();
+        use tetrabft_sim::{Action, ActionBuf, Context, Dest};
+        let mut buf: ActionBuf<Self::Msg, Value> = ActionBuf::new();
         {
             let mut inner_ctx = Context::buffered(ctx.me(), ctx.n(), ctx.now(), &mut buf);
             self.inner.handle(input, &mut inner_ctx);

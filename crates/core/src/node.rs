@@ -40,6 +40,13 @@ pub struct TetraNode {
     /// Highest view-change this node has broadcast.
     vc_sent: Option<View>,
     decided: Option<Value>,
+    /// Reusable scratch for view-change suggest collection: filled by
+    /// `Registers::suggests_into` each re-evaluation, so the per-step
+    /// allocation the old `suggests_at` collect paid happens at most once
+    /// (capacity is retained across steps).
+    scratch_suggests: Vec<crate::msg::SuggestData>,
+    /// Reusable scratch for proof collection, same pattern.
+    scratch_proofs: Vec<crate::msg::ProofData>,
 }
 
 impl TetraNode {
@@ -56,6 +63,8 @@ impl TetraNode {
             proposed: false,
             vc_sent: None,
             decided: None,
+            scratch_suggests: Vec::new(),
+            scratch_proofs: Vec::new(),
         }
     }
 
@@ -159,9 +168,16 @@ impl TetraNode {
         if self.proposed || self.leader(self.view) != self.me {
             return false;
         }
-        let suggests =
-            if self.view.is_zero() { Vec::new() } else { self.regs.suggests_at(self.view) };
-        let Some(value) = leader_determine_safe(&self.cfg, &suggests, self.view, self.input) else {
+        // View 0 needs no suggests — pass an empty slice instead of
+        // materializing a `Vec`; later views fill the retained scratch
+        // buffer in place.
+        let value = if self.view.is_zero() {
+            leader_determine_safe(&self.cfg, &[], self.view, self.input)
+        } else {
+            self.regs.suggests_into(self.view, &mut self.scratch_suggests);
+            leader_determine_safe(&self.cfg, &self.scratch_suggests, self.view, self.input)
+        };
+        let Some(value) = value else {
             return false;
         };
         self.proposed = true;
@@ -180,7 +196,8 @@ impl TetraNode {
         let safe = if self.view.is_zero() {
             true
         } else {
-            node_determine_safe(&self.cfg, &self.regs.proofs_at(self.view), self.view, value)
+            self.regs.proofs_into(self.view, &mut self.scratch_proofs);
+            node_determine_safe(&self.cfg, &self.scratch_proofs, self.view, value)
         };
         if !safe {
             return false;
@@ -197,12 +214,7 @@ impl TetraNode {
                 continue;
             }
             let prev = phase.prev().expect("vote-2..4 always have a predecessor");
-            let Some((value, _)) = self
-                .regs
-                .vote_tallies(prev, self.view)
-                .into_iter()
-                .find(|(_, count)| self.cfg.is_quorum(*count))
-            else {
+            let Some(value) = self.quorum_at_current_view(prev) else {
                 continue;
             };
             self.cast(phase, value, ctx);
@@ -216,17 +228,29 @@ impl TetraNode {
         if self.decided.is_some() {
             return false;
         }
-        let Some((value, _)) = self
-            .regs
-            .vote_tallies(Phase::VOTE4, self.view)
-            .into_iter()
-            .find(|(_, count)| self.cfg.is_quorum(*count))
-        else {
+        let Some(value) = self.quorum_at_current_view(Phase::VOTE4) else {
             return false;
         };
         self.decided = Some(value);
         ctx.output(value);
         true
+    }
+
+    /// The value holding a quorum of latest `phase` votes at the current
+    /// view, if any. The default path is an allocation-free lookup in the
+    /// registers' incremental tally tables; [`Params::with_hotpath_baseline`]
+    /// reroutes it through the allocating `vote_tallies` scan so
+    /// `pipeline_hotpath` can measure old-vs-new on the same traffic.
+    fn quorum_at_current_view(&self, phase: Phase) -> Option<Value> {
+        if self.params.hotpath_baseline() {
+            self.regs
+                .vote_tallies(phase, self.view)
+                .into_iter()
+                .find(|(_, count)| self.cfg.is_quorum(*count))
+                .map(|(value, _)| value)
+        } else {
+            self.regs.quorum_value(phase, self.view, self.cfg.quorum())
+        }
     }
 
     fn cast(&mut self, phase: Phase, value: Value, ctx: &mut Context<'_, Message, Value>) {

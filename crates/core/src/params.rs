@@ -35,6 +35,7 @@ pub struct Params {
     mempool_capacity: usize,
     max_tx_bytes: usize,
     fsync: FsyncPolicy,
+    hotpath_baseline: bool,
 }
 
 impl Params {
@@ -67,6 +68,7 @@ impl Params {
             mempool_capacity: Self::DEFAULT_MEMPOOL_CAPACITY,
             max_tx_bytes: Self::DEFAULT_MAX_TX_BYTES,
             fsync: FsyncPolicy::default(),
+            hotpath_baseline: false,
         }
     }
 
@@ -129,6 +131,24 @@ impl Params {
     pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
         self.fsync = policy;
         self
+    }
+
+    /// Routes quorum checks through the allocating pre-tally-table code
+    /// paths (`vote_tallies` scans, per-step `Vec` collects) instead of the
+    /// precomputed tables — **for the `pipeline_hotpath` bench only**, which
+    /// measures the zero-alloc hot path against this retained baseline the
+    /// same way `wire_bytes` retains the v1 codec. Decisions are identical
+    /// either way; only cost differs.
+    #[must_use]
+    pub fn with_hotpath_baseline(mut self, baseline: bool) -> Self {
+        self.hotpath_baseline = baseline;
+        self
+    }
+
+    /// `true` if quorum checks should use the retained allocating baseline.
+    #[inline]
+    pub fn hotpath_baseline(&self) -> bool {
+        self.hotpath_baseline
     }
 
     /// The durable store's fsync cadence.

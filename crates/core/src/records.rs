@@ -8,9 +8,44 @@
 //! information a future view needs is ever lost, while total memory stays
 //! O(n) — constant per peer — as the Table 1 storage column requires.
 
-use tetrabft_types::{Config, NodeId, Phase, Value, View, VoteInfo};
+use tetrabft_types::{Config, InlineVec, NodeId, Phase, Value, View, VoteInfo};
 
 use crate::msg::{Message, ProofData, SuggestData};
+
+/// One tally table: distinct `(view, value)` pairs among the peers' *latest*
+/// votes in one phase, with their counts. Latest-vote-per-peer bounds the
+/// table at `n` entries; in the good case (one view, one value) it holds a
+/// single entry, so the `InlineVec` never spills.
+type TallyTable = InlineVec<(View, Value, u32), 4>;
+
+/// Increments the tally for `(view, value)`, inserting it at count 1 if
+/// absent.
+fn tally_add(table: &mut TallyTable, view: View, value: Value) {
+    for i in 0..table.len() {
+        let entry = table.get_mut(i).expect("index below len");
+        if entry.0 == view && entry.1 == value {
+            entry.2 += 1;
+            return;
+        }
+    }
+    table.push((view, value, 1));
+}
+
+/// Decrements the tally for `(view, value)`, removing the entry at zero so
+/// the table tracks only live votes.
+fn tally_sub(table: &mut TallyTable, view: View, value: Value) {
+    for i in 0..table.len() {
+        let entry = table.get_mut(i).expect("index below len");
+        if entry.0 == view && entry.1 == value {
+            entry.2 -= 1;
+            if entry.2 == 0 {
+                table.swap_remove(i);
+            }
+            return;
+        }
+    }
+    debug_assert!(false, "decremented a tally that was never incremented");
+}
 
 /// Registers for a single peer.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -79,15 +114,37 @@ fn upsert<T>(slot: &mut Option<(View, T)>, view: View, payload: T) {
 /// assert_eq!(regs.count_votes(Phase::VOTE1, View(0), Value::from_u64(5)), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Registers {
     peers: Vec<PeerRecord>,
+    /// Per-phase incremental tallies over the peers' latest votes,
+    /// maintained by [`Registers::record`] — the precomputed
+    /// quorum-threshold tables the model checker's `mc/model.rs` proved out
+    /// (its packed-count pass turned minutes into seconds). They make
+    /// [`Registers::quorum_value`] / [`Registers::quorum_value_any`] O(distinct
+    /// values) lookups with zero allocation, replacing the O(n) re-scan per
+    /// engine step of [`Registers::vote_tallies`].
+    tallies: [TallyTable; 4],
 }
+
+/// Equality is over the peer registers only: the tally tables are a pure
+/// function of them (entry *order* varies with arrival history, which must
+/// not affect equality).
+impl PartialEq for Registers {
+    fn eq(&self, other: &Self) -> bool {
+        self.peers == other.peers
+    }
+}
+
+impl Eq for Registers {}
 
 impl Registers {
     /// Creates an empty register file for `cfg.n()` peers.
     pub fn new(cfg: &Config) -> Self {
-        Registers { peers: vec![PeerRecord::default(); cfg.n()] }
+        Registers {
+            peers: vec![PeerRecord::default(); cfg.n()],
+            tallies: std::array::from_fn(|_| TallyTable::new()),
+        }
     }
 
     /// The record of one peer.
@@ -110,7 +167,12 @@ impl Registers {
             Message::Vote { phase, view, value } => {
                 let slot = &mut peer.votes[phase.index()];
                 if slot.is_none_or(|held| *view > held.view) {
-                    *slot = Some(VoteInfo::new(*view, *value));
+                    let outgoing = slot.replace(VoteInfo::new(*view, *value));
+                    let table = &mut self.tallies[phase.index()];
+                    if let Some(old) = outgoing {
+                        tally_sub(table, old.view, old.value);
+                    }
+                    tally_add(table, *view, *value);
                 }
             }
             Message::Suggest { view, data } => upsert(&mut peer.suggest, *view, *data),
@@ -138,9 +200,56 @@ impl Registers {
         self.peers.iter().filter(|p| p.vote(phase).is_some_and(|v| v.value == value)).count()
     }
 
+    /// The value whose latest-vote count in `phase` at exactly `view`
+    /// reaches `threshold`, if any — an allocation-free lookup in the
+    /// incremental tally table.
+    ///
+    /// For any blocking-or-larger threshold (`≥ f + 1 > n/3` votes… in fact
+    /// any `threshold > n/2`, and quorum is `n − f > 2n/3`) at most one value
+    /// can reach it: each peer contributes exactly one latest vote, so two
+    /// distinct winners would need `2·threshold ≤ n`. Scan order is
+    /// therefore immaterial and the first hit is *the* answer.
+    pub fn quorum_value(&self, phase: Phase, view: View, threshold: usize) -> Option<Value> {
+        self.tallies[phase.index()]
+            .iter()
+            .find(|(v, _, c)| *v == view && *c as usize >= threshold)
+            .map(|(_, value, _)| *value)
+    }
+
+    /// The value whose latest-vote count in `phase` across *all* views
+    /// reaches `threshold`, if any (the table-backed, allocation-free
+    /// equivalent of scanning [`Registers::vote_value_tallies`]; see
+    /// [`Registers::count_votes_value`] for why multi-shot counts quorums
+    /// view-agnostically). Uniqueness for majority thresholds holds by the
+    /// same argument as [`Registers::quorum_value`].
+    pub fn quorum_value_any(&self, phase: Phase, threshold: usize) -> Option<Value> {
+        let table = &self.tallies[phase.index()];
+        // Per-(view, value) counts fold into per-value counts on the fly:
+        // the table holds one entry per distinct pair, ≤ n entries total,
+        // and in the good case exactly one.
+        for i in 0..table.len() {
+            let (_, value, count) = *table.get(i).expect("index below len");
+            let mut total = count as usize;
+            for j in 0..table.len() {
+                let (_, other_value, other_count) = *table.get(j).expect("index below len");
+                if j != i && other_value == value {
+                    total += other_count as usize;
+                }
+            }
+            if total >= threshold {
+                return Some(value);
+            }
+        }
+        None
+    }
+
     /// Distinct values voted for in `phase` in *any* view, with counts
     /// (the view-agnostic companion of [`Registers::vote_tallies`]; see
     /// [`Registers::count_votes_value`] for why multi-shot needs this).
+    ///
+    /// Allocates its result; the hot path uses
+    /// [`Registers::quorum_value_any`] instead. Retained as the
+    /// pre-tally-table baseline that `pipeline_hotpath` measures against.
     pub fn vote_value_tallies(&self, phase: Phase) -> Vec<(Value, usize)> {
         let mut tallies: Vec<(Value, usize)> = Vec::new();
         for p in &self.peers {
@@ -155,6 +264,10 @@ impl Registers {
     }
 
     /// Distinct values voted for in `phase` at `view`, with counts.
+    ///
+    /// Allocates its result and re-scans all peers; the hot path uses
+    /// [`Registers::quorum_value`] instead. Retained as the pre-tally-table
+    /// baseline that `pipeline_hotpath` measures against.
     pub fn vote_tallies(&self, phase: Phase, view: View) -> Vec<(Value, usize)> {
         let mut tallies: Vec<(Value, usize)> = Vec::new();
         for p in &self.peers {
@@ -193,6 +306,26 @@ impl Registers {
             .filter(|(v, _)| *v == view)
             .map(|(_, d)| d)
             .collect()
+    }
+
+    /// Writes the suggest payloads for exactly `view` into the caller's
+    /// scratch buffer (cleared first) — the allocation-free form of
+    /// [`Registers::suggests_at`] for callers that re-evaluate every step.
+    pub fn suggests_into(&self, view: View, out: &mut Vec<SuggestData>) {
+        out.clear();
+        out.extend(
+            self.peers.iter().filter_map(|p| p.suggest).filter(|(v, _)| *v == view).map(|(_, d)| d),
+        );
+    }
+
+    /// Writes the proof payloads for exactly `view` into the caller's
+    /// scratch buffer (cleared first) — the allocation-free form of
+    /// [`Registers::proofs_at`].
+    pub fn proofs_into(&self, view: View, out: &mut Vec<ProofData>) {
+        out.clear();
+        out.extend(
+            self.peers.iter().filter_map(|p| p.proof).filter(|(v, _)| *v == view).map(|(_, d)| d),
+        );
     }
 
     /// Number of peers whose highest view-change is `≥ view` (see DESIGN.md
@@ -320,6 +453,99 @@ mod tests {
         assert_eq!(regs.view_change_support(View(5)), 1);
         assert_eq!(regs.view_change_support(View(6)), 0);
         assert_eq!(regs.view_change_candidates(View(1)), vec![View(5), View(2)]);
+    }
+
+    /// The incremental tally table must agree with a fresh peer scan after
+    /// any history of replacements, equivocations, and stale votes.
+    #[test]
+    fn tally_table_matches_scan_after_replacements() {
+        let cfg = Config::new(7).unwrap();
+        let mut regs = Registers::new(&cfg);
+        // A messy but deterministic vote history: every peer revotes across
+        // views and phases, switching values, with stale and duplicate
+        // messages sprinkled in.
+        for round in 0..5u64 {
+            for i in 0..7u64 {
+                let phase = Phase::ALL[(round as usize + i as usize) % 4];
+                regs.record(NodeId(i as u16), &vote(phase, round + i % 3, (round + i) % 4));
+                // Stale re-delivery: must not perturb the tables.
+                regs.record(NodeId(i as u16), &vote(phase, round / 2, 99));
+            }
+        }
+        let q = cfg.quorum();
+        for phase in Phase::ALL {
+            // View-agnostic: table lookup agrees with the scan-based tally.
+            let by_scan = regs
+                .vote_value_tallies(phase)
+                .into_iter()
+                .find(|(_, c)| *c >= q)
+                .map(|(value, _)| value);
+            assert_eq!(regs.quorum_value_any(phase, q), by_scan, "{phase:?} any-view");
+            // Per-view, over every view that appeared.
+            for view in 0..8u64 {
+                let by_scan = regs
+                    .vote_tallies(phase, View(view))
+                    .into_iter()
+                    .find(|(_, c)| *c >= q)
+                    .map(|(value, _)| value);
+                assert_eq!(regs.quorum_value(phase, View(view), q), by_scan, "{phase:?} v{view}");
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_value_finds_the_unique_winner() {
+        let mut regs = Registers::new(&cfg());
+        for i in 0..3 {
+            regs.record(NodeId(i), &vote(Phase::VOTE1, 2, 5));
+        }
+        regs.record(NodeId(3), &vote(Phase::VOTE1, 2, 6));
+        assert_eq!(regs.quorum_value(Phase::VOTE1, View(2), 3), Some(Value::from_u64(5)));
+        assert_eq!(regs.quorum_value(Phase::VOTE1, View(1), 3), None, "wrong view");
+        assert_eq!(regs.quorum_value(Phase::VOTE2, View(2), 3), None, "wrong phase");
+        assert_eq!(regs.quorum_value(Phase::VOTE1, View(2), 4), None, "threshold unmet");
+    }
+
+    #[test]
+    fn quorum_value_any_sums_across_views() {
+        let mut regs = Registers::new(&cfg());
+        // Three peers back value 7, but in different views — the multi-shot
+        // counting rule (count_votes_value) must still see a quorum.
+        regs.record(NodeId(0), &vote(Phase::VOTE4, 1, 7));
+        regs.record(NodeId(1), &vote(Phase::VOTE4, 2, 7));
+        regs.record(NodeId(2), &vote(Phase::VOTE4, 3, 7));
+        assert_eq!(regs.quorum_value_any(Phase::VOTE4, 3), Some(Value::from_u64(7)));
+        assert_eq!(regs.quorum_value(Phase::VOTE4, View(1), 3), None, "no single view has 3");
+    }
+
+    #[test]
+    fn scratch_filling_suggest_and_proof_queries_match_allocating_ones() {
+        let mut regs = Registers::new(&cfg());
+        let data = SuggestData::default();
+        regs.record(NodeId(0), &Message::Suggest { view: View(2), data });
+        regs.record(NodeId(1), &Message::Suggest { view: View(2), data });
+        regs.record(NodeId(2), &Message::Proof { view: View(2), data: ProofData::default() });
+        let mut scratch_s = vec![SuggestData::default(); 7]; // stale junk: must be cleared
+        regs.suggests_into(View(2), &mut scratch_s);
+        assert_eq!(scratch_s, regs.suggests_at(View(2)));
+        let mut scratch_p = Vec::new();
+        regs.proofs_into(View(2), &mut scratch_p);
+        assert_eq!(scratch_p, regs.proofs_at(View(2)));
+        regs.proofs_into(View(9), &mut scratch_p);
+        assert!(scratch_p.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_tally_entry_order() {
+        // Same final registers via different arrival orders: the tally
+        // tables' internal entry order differs, equality must not.
+        let mut a = Registers::new(&cfg());
+        let mut b = Registers::new(&cfg());
+        a.record(NodeId(0), &vote(Phase::VOTE1, 1, 5));
+        a.record(NodeId(1), &vote(Phase::VOTE1, 1, 6));
+        b.record(NodeId(1), &vote(Phase::VOTE1, 1, 6));
+        b.record(NodeId(0), &vote(Phase::VOTE1, 1, 5));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use tetrabft_types::NodeId;
 
-use crate::node::{Action, Context, Dest, Input, Node, TimerId};
+use crate::node::{Action, ActionBuf, Context, Dest, Input, Node, TimerId};
 use crate::time::Time;
 
 /// What an [`Engine`] asks its runtime to do.
@@ -34,10 +34,12 @@ pub trait Transport<M, O> {
     fn deliver_output(&mut self, out: O);
 
     /// Called exactly once after every action of one engine input has been
-    /// dispatched. Buffering transports hand their staged sends to the
-    /// network here — one handoff per input rather than one per message —
-    /// so a broadcast plus its follow-ups leave as a single batch. The
-    /// default is a no-op for transports that ship eagerly.
+    /// dispatched — or once per *batch* of inputs when the runtime steps
+    /// through [`Engine::step_batch`] / the `*_buffered` entry points.
+    /// Buffering transports hand their staged sends to the network here —
+    /// one handoff per input (or batch) rather than one per message — so a
+    /// broadcast plus its follow-ups leave as a single batch. The default
+    /// is a no-op for transports that ship eagerly.
     fn flush(&mut self) {}
 }
 
@@ -224,14 +226,65 @@ impl<N: Node> Engine<N> {
         now: Time,
         transport: &mut T,
     ) -> bool {
+        if !self.consume_timer(id, generation) {
+            return false;
+        }
+        self.dispatch(Input::Timer { id }, now, transport);
+        true
+    }
+
+    /// Batched variant of [`Engine::on_deliver`]: runs the node but defers
+    /// the persist/flush seal to [`Engine::finish_batch`]. Callers that
+    /// drain several queued inputs in one go pay one storage sync and one
+    /// network handoff per *batch* instead of per input.
+    ///
+    /// Every sequence of `*_buffered` calls **must** be closed with
+    /// [`Engine::finish_batch`] before the runtime goes back to waiting —
+    /// otherwise staged sends sit unflushed and durable votes unpersisted.
+    pub fn on_deliver_buffered<T: Transport<N::Msg, N::Output>>(
+        &mut self,
+        from: NodeId,
+        msg: N::Msg,
+        now: Time,
+        transport: &mut T,
+    ) {
+        self.dispatch_buffered(Input::Deliver { from, msg }, now, transport);
+    }
+
+    /// Batched variant of [`Engine::on_timer`]: same staleness filtering,
+    /// but the persist/flush seal is deferred to [`Engine::finish_batch`].
+    /// Returns whether the node ran.
+    pub fn on_timer_buffered<T: Transport<N::Msg, N::Output>>(
+        &mut self,
+        id: TimerId,
+        generation: u64,
+        now: Time,
+        transport: &mut T,
+    ) -> bool {
+        if !self.consume_timer(id, generation) {
+            return false;
+        }
+        self.dispatch_buffered(Input::Timer { id }, now, transport);
+        true
+    }
+
+    /// Seals a batch of `*_buffered` dispatches: persists the node once,
+    /// then flushes the transport once. The write-ahead ordering holds for
+    /// the whole batch — everything the batch's inputs changed is durable
+    /// before any message they produced leaves the process.
+    pub fn finish_batch<T: Transport<N::Msg, N::Output>>(&mut self, transport: &mut T) {
+        self.node.persist();
+        transport.flush();
+    }
+
+    /// `true` iff `generation` is the live arming of `id`; consumes the
+    /// arming (the handler may re-arm with a fresh, never-reused
+    /// generation, so removal cannot resurrect any queued firing).
+    fn consume_timer(&mut self, id: TimerId, generation: u64) -> bool {
         if self.generations.get(&id) != Some(&generation) {
             return false;
         }
-        // The firing consumes the arming; the handler may re-arm (getting
-        // a fresh, never-reused generation), so removal cannot resurrect
-        // this or any other queued firing.
         self.generations.remove(&id);
-        self.dispatch(Input::Timer { id }, now, transport);
         true
     }
 
@@ -241,7 +294,21 @@ impl<N: Node> Engine<N> {
         now: Time,
         transport: &mut T,
     ) {
-        let mut actions: Vec<Action<N::Msg, N::Output>> = Vec::new();
+        self.dispatch_buffered(input, now, transport);
+        self.finish_batch(transport);
+    }
+
+    /// Runs the node on one input and interprets its actions, without the
+    /// trailing persist/flush seal (a batch seals once, at the end).
+    fn dispatch_buffered<T: Transport<N::Msg, N::Output>>(
+        &mut self,
+        input: Input<N::Msg>,
+        now: Time,
+        transport: &mut T,
+    ) {
+        // The buffer lives on the stack: a good-case step emits well under
+        // its inline capacity, so dispatch itself performs no allocation.
+        let mut actions: ActionBuf<N::Msg, N::Output> = ActionBuf::new();
         {
             let mut ctx = Context::buffered(self.me, self.n, now, &mut actions);
             self.node.handle(input, &mut ctx);
@@ -263,11 +330,6 @@ impl<N: Node> Engine<N> {
                 Action::Output(out) => transport.deliver_output(out),
             }
         }
-        // Persist *before* flush: transports that stage sends until flush
-        // (the TCP runtime) thus never emit a message whose causally-prior
-        // votes are not yet on disk — the write-ahead ordering.
-        self.node.persist();
-        transport.flush();
     }
 }
 
@@ -299,6 +361,58 @@ impl<N: Submitter> Engine<N> {
             EngineEvent::Timer { id, generation } => self.on_timer(id, generation, now, transport),
             EngineEvent::Submit(req) => self.submit(req).is_ok(),
         }
+    }
+
+    /// Drains a whole batch of runtime events through the node with **one**
+    /// persist/flush seal at the end, instead of one per event.
+    ///
+    /// This is the hot-path entry point for runtimes that pull events off a
+    /// queue or channel: dispatch overhead (storage sync, staged-send
+    /// handoff, lock round-trips in the caller) is amortized over the
+    /// batch. Semantics are otherwise identical to feeding each event
+    /// through [`Engine::on_event`] — same ordering, same staleness
+    /// filtering, same backpressure for submissions — and the write-ahead
+    /// guarantee still holds batch-wide: the single persist covers every
+    /// input before the single flush releases any of their messages.
+    ///
+    /// Returns how many events ran the node (stale timer firings and
+    /// refused submissions do not). The seal runs only if at least one
+    /// event dispatched, so an all-stale batch is free.
+    pub fn step_batch<T, I>(&mut self, events: I, now: Time, transport: &mut T) -> usize
+    where
+        T: Transport<N::Msg, N::Output>,
+        I: IntoIterator<Item = EngineEvent<N::Msg, N::Request>>,
+    {
+        let mut ran = 0;
+        let mut dispatched = false;
+        for event in events {
+            match event {
+                EngineEvent::Start => {
+                    self.dispatch_buffered(Input::Start, now, transport);
+                    dispatched = true;
+                    ran += 1;
+                }
+                EngineEvent::Deliver { from, msg } => {
+                    self.dispatch_buffered(Input::Deliver { from, msg }, now, transport);
+                    dispatched = true;
+                    ran += 1;
+                }
+                EngineEvent::Timer { id, generation } => {
+                    if self.consume_timer(id, generation) {
+                        self.dispatch_buffered(Input::Timer { id }, now, transport);
+                        dispatched = true;
+                        ran += 1;
+                    }
+                }
+                // Admission never dispatches the node, so it does not by
+                // itself force a seal.
+                EngineEvent::Submit(req) => ran += usize::from(self.submit(req).is_ok()),
+            }
+        }
+        if dispatched {
+            self.finish_batch(transport);
+        }
+        ran
     }
 }
 
@@ -455,6 +569,65 @@ mod tests {
             self.held = Some(req);
             Ok(())
         }
+    }
+
+    #[test]
+    fn buffered_dispatches_seal_once_per_batch() {
+        let mut engine = Engine::new(TimerNode, NodeId(0), 1);
+        let mut t = Recorder::default();
+        engine.on_deliver_buffered(NodeId(0), Msg(1), Time(1), &mut t);
+        engine.on_deliver_buffered(NodeId(0), Msg(2), Time(1), &mut t);
+        engine.on_deliver_buffered(NodeId(0), Msg(3), Time(1), &mut t);
+        assert_eq!(t.flushes, 0, "nothing seals until finish_batch");
+        assert_eq!(t.outputs, vec![1, 2, 3], "actions still dispatch eagerly");
+        engine.finish_batch(&mut t);
+        assert_eq!(t.flushes, 1, "one flush covers the whole batch");
+    }
+
+    #[test]
+    fn buffered_timer_filtering_matches_single_step() {
+        let mut engine = Engine::new(TimerNode, NodeId(0), 1);
+        let mut t = Recorder::default();
+        engine.start(Time(0), &mut t);
+        assert!(!engine.on_timer_buffered(TimerId(1), 1, Time(10), &mut t), "replaced arming");
+        assert!(engine.on_timer_buffered(TimerId(1), 2, Time(3), &mut t));
+        assert!(!engine.on_timer_buffered(TimerId(2), 3, Time(5), &mut t), "cancelled");
+        engine.finish_batch(&mut t);
+        assert_eq!(t.outputs, vec![1]);
+        assert_eq!(t.flushes, 2, "start sealed itself; the batch sealed once");
+    }
+
+    #[test]
+    fn step_batch_drains_events_with_one_seal() {
+        let mut engine = Engine::new(OneSlot { held: None }, NodeId(0), 1);
+        let mut t = Recorder::default();
+        let ran = engine.step_batch(
+            vec![
+                EngineEvent::Submit(7),
+                EngineEvent::Submit(8), // refused: pool is full
+                EngineEvent::Start,
+                EngineEvent::Deliver { from: NodeId(0), msg: Msg(5) },
+                EngineEvent::Timer { id: TimerId(9), generation: 99 }, // stale
+            ],
+            Time(0),
+            &mut t,
+        );
+        assert_eq!(ran, 3, "one admitted submit, start, one delivery");
+        assert_eq!(t.outputs, vec![7], "the admitted request drained on start");
+        assert_eq!(t.flushes, 1, "the whole batch sealed exactly once");
+    }
+
+    #[test]
+    fn step_batch_of_stale_events_never_seals() {
+        let mut engine = Engine::new(OneSlot { held: None }, NodeId(0), 1);
+        let mut t = Recorder::default();
+        let ran = engine.step_batch(
+            vec![EngineEvent::Timer { id: TimerId(1), generation: 1 }],
+            Time(0),
+            &mut t,
+        );
+        assert_eq!(ran, 0);
+        assert_eq!(t.flushes, 0, "no dispatch, no seal");
     }
 
     #[test]

@@ -28,5 +28,5 @@ mod node;
 mod time;
 
 pub use driver::{Engine, EngineEvent, Submitter, Transport};
-pub use node::{Action, Context, Dest, Input, Node, TimerId, WireSize};
+pub use node::{Action, ActionBuf, Context, Dest, Input, Node, TimerId, WireSize};
 pub use time::{Time, NEVER};

@@ -1,6 +1,6 @@
 //! The protocol-facing state-machine interface (sans-I/O).
 
-use tetrabft_types::NodeId;
+use tetrabft_types::{InlineVec, NodeId};
 
 use crate::time::Time;
 
@@ -78,8 +78,11 @@ pub trait Node {
     /// Flushes durable state to stable storage.
     ///
     /// The [`Engine`](crate::Engine) calls this exactly once per dispatched
-    /// input, after every action has been handed to the transport but
-    /// *before* [`Transport::flush`](crate::Transport::flush) — so a
+    /// input — or, when the runtime steps through the batched entry points
+    /// ([`Engine::step_batch`](crate::Engine::step_batch) and the
+    /// `*_buffered` methods), exactly once per *batch* of inputs — after
+    /// every action has been handed to the transport but *before*
+    /// [`Transport::flush`](crate::Transport::flush). Either way a
     /// buffering transport (like the TCP runtime, which stages sends until
     /// flush) gives write-ahead semantics for free: votes hit disk before
     /// the messages that depend on them leave the process. In-memory nodes
@@ -141,12 +144,20 @@ pub enum Action<M, O> {
     Output(O),
 }
 
+/// The action buffer one [`Node::handle`] call writes into.
+///
+/// A good-case step emits at most a handful of effects (a broadcast, a
+/// timer re-arm, maybe an output), so the buffer keeps 8 slots inline and
+/// only touches the heap on bursts — the per-dispatch `Vec` allocation was
+/// one of the hottest sites in the consensus pipeline.
+pub type ActionBuf<M, O> = InlineVec<Action<M, O>, 8>;
+
 /// Effect sink and environment view handed to [`Node::handle`].
 pub struct Context<'a, M, O> {
     pub(crate) me: NodeId,
     pub(crate) n: usize,
     pub(crate) now: Time,
-    pub(crate) effects: &'a mut Vec<Action<M, O>>,
+    pub(crate) effects: &'a mut ActionBuf<M, O>,
 }
 
 impl<'a, M, O> Context<'a, M, O> {
@@ -156,15 +167,15 @@ impl<'a, M, O> Context<'a, M, O> {
     /// # Examples
     ///
     /// ```
-    /// use tetrabft_engine::{Action, Context};
+    /// use tetrabft_engine::{ActionBuf, Context};
     /// use tetrabft_types::NodeId;
     ///
-    /// let mut buf: Vec<Action<u8, ()>> = Vec::new();
+    /// let mut buf: ActionBuf<u8, ()> = ActionBuf::new();
     /// let mut ctx = Context::buffered(NodeId(0), 4, tetrabft_engine::Time(0), &mut buf);
     /// ctx.send(NodeId(1), 42u8);
     /// assert_eq!(buf.len(), 1);
     /// ```
-    pub fn buffered(me: NodeId, n: usize, now: Time, buf: &'a mut Vec<Action<M, O>>) -> Self {
+    pub fn buffered(me: NodeId, n: usize, now: Time, buf: &'a mut ActionBuf<M, O>) -> Self {
         Context { me, n, now, effects: buf }
     }
 }

@@ -1,5 +1,8 @@
 //! Blocks, hash pointers, and the genesis block.
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
 use tetrabft_types::{Slot, Value};
 use tetrabft_wire::{Reader, Wire, WireError, Writer};
 
@@ -60,24 +63,43 @@ pub struct Block {
     /// Hash pointer to the parent block.
     pub parent: BlockHash,
     /// Transactions carried by the block.
-    pub txs: Vec<Vec<u8>>,
+    ///
+    /// Shared, not owned: a block is cloned once per broadcast recipient,
+    /// once into the store, and once per finalization output. Behind an
+    /// `Arc` all of those are reference-count bumps over one buffer — the
+    /// "share one encoded payload instead of cloning it per recipient"
+    /// half of the zero-alloc hot path. `Arc` (not `Rc`) because the TCP
+    /// runtime moves messages across threads.
+    pub txs: Arc<Vec<Vec<u8>>>,
+}
+
+thread_local! {
+    /// Scratch encoder for [`Block::hash`]: hashing re-encodes the block,
+    /// and the store hashes every insert, so a heap-allocated `Writer` per
+    /// call would be one of the hottest allocation sites in the pipeline.
+    static HASH_SCRATCH: RefCell<Writer> = RefCell::new(Writer::new());
 }
 
 impl Block {
     /// Creates a block.
     pub fn new(slot: Slot, parent: BlockHash, txs: Vec<Vec<u8>>) -> Self {
-        Block { slot, parent, txs }
+        Block { slot, parent, txs: Arc::new(txs) }
     }
 
     /// The block's digest (FNV-1a over its wire encoding, never 0 or the
-    /// genesis hash).
+    /// genesis hash). Encodes into a thread-local scratch buffer, so
+    /// steady-state calls do not allocate.
     pub fn hash(&self) -> BlockHash {
-        let bytes = self.to_bytes();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        HASH_SCRATCH.with(|scratch| {
+            let mut w = scratch.borrow_mut();
+            w.clear();
+            self.encode(&mut w);
+            for &b in w.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        });
         // Reserve 0 (the "fresh block" sentinel in Rule 1) and 1 (genesis).
         if h <= 1 {
             h = 2;
@@ -100,7 +122,7 @@ impl Wire for Block {
         self.slot.encode(w);
         self.parent.encode(w);
         w.put_varint(self.txs.len() as u64);
-        for tx in &self.txs {
+        for tx in self.txs.iter() {
             w.put_varint(tx.len() as u64);
             w.put_slice(tx);
         }
@@ -122,7 +144,7 @@ impl Wire for Block {
             let len = r.get_varint_u32()? as usize;
             txs.push(r.get_slice(len)?.to_vec());
         }
-        Ok(Block { slot, parent, txs })
+        Ok(Block { slot, parent, txs: Arc::new(txs) })
     }
 }
 

@@ -67,10 +67,12 @@ impl SlotInstance {
 
     /// The highest view with support from at least `quorum` peers, if any.
     pub fn quorum_view(&self, quorum: usize) -> Option<View> {
-        let mut views: Vec<View> = self.vc_support.iter().flatten().copied().collect();
-        if views.len() < quorum {
+        // Count before collecting: the good case (no view changes, every
+        // register `None`) runs every step and must not allocate.
+        if self.vc_support.iter().flatten().count() < quorum {
             return None;
         }
+        let mut views: Vec<View> = self.vc_support.iter().flatten().copied().collect();
         views.sort_unstable();
         views.reverse();
         Some(views[quorum - 1])

@@ -215,7 +215,7 @@ pub mod v1 {
         w.put_u64(block.slot.0);
         w.put_u64(block.parent.0);
         w.put_u32(block.txs.len() as u32);
-        for tx in &block.txs {
+        for tx in block.txs.iter() {
             w.put_u32(tx.len() as u32);
             w.put_slice(tx);
         }

@@ -7,7 +7,7 @@ use tetrabft::rules::{leader_determine_safe, node_determine_safe};
 use tetrabft::{Message as CoreMessage, Params, ProofData, SuggestData};
 use tetrabft_sim::{Context, Input, Node, Submitter, TimerId};
 use tetrabft_store::{NodeStore, StoreError};
-use tetrabft_types::{Config, NodeId, Phase, Slot, Value, View};
+use tetrabft_types::{Config, InlineVec, NodeId, Phase, Slot, Value, View};
 use tetrabft_wire::Wire;
 
 use crate::block::{Block, BlockHash, GENESIS_HASH};
@@ -98,6 +98,15 @@ pub struct MultiShotNode {
     /// is our finalized tip and a blocking set (f+1, at least one honest
     /// node) agrees on the hash.
     catchup: BTreeMap<(Slot, BlockHash), (Block, BTreeSet<u16>)>,
+    /// Reusable scratch for view-change suggest collection (filled in
+    /// place each re-evaluation; capacity is retained across steps, so the
+    /// steady state allocates nothing).
+    scratch_suggests: Vec<SuggestData>,
+    /// Reusable scratch for proof collection, same pattern.
+    scratch_proofs: Vec<ProofData>,
+    /// Reusable scratch for the finalization chain walk (good case: one
+    /// entry per finalize).
+    scratch_chain: Vec<(Slot, BlockHash, Block)>,
 }
 
 impl MultiShotNode {
@@ -121,6 +130,9 @@ impl MultiShotNode {
             dirty_slots: BTreeSet::new(),
             mempool_dirty: false,
             catchup: BTreeMap::new(),
+            scratch_suggests: Vec::new(),
+            scratch_proofs: Vec::new(),
+            scratch_chain: Vec::new(),
         }
     }
 
@@ -463,18 +475,38 @@ impl MultiShotNode {
         loop {
             let mut dirty = false;
             dirty |= self.step_echo(ctx);
-            let slots: Vec<Slot> = self.instances.keys().copied().collect();
-            for slot in slots {
-                dirty |= self.step_enter_view(slot, ctx);
-                dirty |= self.step_notarize(slot);
-                dirty |= self.step_propose(slot, ctx);
-                dirty |= self.step_vote(slot, ctx);
+            // Snapshot the live slots before stepping them (steps insert
+            // and retire instances). Live instances are bounded by
+            // SLOT_WINDOW, so the inline capacity always suffices and the
+            // snapshot never allocates; the baseline branch retains the
+            // historical per-iteration `Vec` collect for `pipeline_hotpath`.
+            if self.params.hotpath_baseline() {
+                let slots: Vec<Slot> = self.instances.keys().copied().collect();
+                for slot in slots {
+                    dirty |= self.step_slot(slot, ctx);
+                }
+            } else {
+                let slots: InlineVec<Slot, { SLOT_WINDOW as usize }> =
+                    self.instances.keys().copied().collect();
+                for slot in slots {
+                    dirty |= self.step_slot(slot, ctx);
+                }
             }
             dirty |= self.step_finalize(ctx);
             if !dirty {
                 break;
             }
         }
+    }
+
+    /// One fixpoint pass over a single live slot.
+    fn step_slot(&mut self, slot: Slot, ctx: &mut Ctx<'_>) -> bool {
+        let mut dirty = false;
+        dirty |= self.step_enter_view(slot, ctx);
+        dirty |= self.step_notarize(slot);
+        dirty |= self.step_propose(slot, ctx);
+        dirty |= self.step_vote(slot, ctx);
+        dirty
     }
 
     /// Echo a view-change supported by a blocking set (Algorithm 2 lines
@@ -507,7 +539,7 @@ impl MultiShotNode {
     /// suggest/proof that seed Rule 1 / Rule 3 in the new view.
     fn step_enter_view(&mut self, slot: Slot, ctx: &mut Ctx<'_>) -> bool {
         let params = self.params;
-        let leader = {
+        let (target, leader) = {
             let inst = self.instances.get(&slot).expect("caller checked");
             let Some(target) = inst.quorum_view(self.cfg.quorum()) else { return false };
             if target <= inst.view {
@@ -519,10 +551,9 @@ impl MultiShotNode {
             if !inst.saw_proposal && !inst.timer_expired {
                 return false;
             }
-            self.leader(slot, target)
+            (target, self.leader(slot, target))
         };
         let inst = self.instances.get_mut(&slot).expect("caller checked");
-        let target = inst.quorum_view(self.cfg.quorum()).expect("checked above");
         inst.view = target;
         inst.proposed = false;
         inst.timer_expired = false;
@@ -550,18 +581,23 @@ impl MultiShotNode {
     /// Fig. 3 counts view-0 votes at slot 4 toward view-1 blocks' finality.
     fn step_notarize(&mut self, slot: Slot) -> bool {
         let quorum = self.cfg.quorum();
+        let baseline = self.params.hotpath_baseline();
         let inst = self.instances.get_mut(&slot).expect("caller checked");
         if inst.notarized.is_some() {
             return false;
         }
-        let Some((value, _)) = inst
-            .regs
-            .vote_value_tallies(Phase::VOTE1)
-            .into_iter()
-            .find(|(_, count)| *count >= quorum)
-        else {
-            return false;
+        // Table lookup on the hot path; the allocating tally scan is the
+        // retained baseline `pipeline_hotpath` measures against.
+        let value = if baseline {
+            inst.regs
+                .vote_value_tallies(Phase::VOTE1)
+                .into_iter()
+                .find(|(_, count)| *count >= quorum)
+                .map(|(value, _)| value)
+        } else {
+            inst.regs.quorum_value_any(Phase::VOTE1, quorum)
         };
+        let Some(value) = value else { return false };
         inst.notarized = Some(BlockHash::from_value(value));
         true
     }
@@ -579,8 +615,12 @@ impl MultiShotNode {
             let Some(parent) = self.parent_ready(slot) else { return false };
             self.build_block(slot, parent)
         } else {
-            let suggests = inst.regs.suggests_at(view);
-            match leader_determine_safe(&self.cfg, &suggests, view, FRESH) {
+            // Fill the retained scratch instead of collecting a fresh Vec.
+            let mut suggests = std::mem::take(&mut self.scratch_suggests);
+            inst.regs.suggests_into(view, &mut suggests);
+            let decision = leader_determine_safe(&self.cfg, &suggests, view, FRESH);
+            self.scratch_suggests = suggests;
+            match decision {
                 None => return false,
                 Some(v) if v == FRESH => {
                     let Some(parent) = self.parent_ready(slot) else { return false };
@@ -658,7 +698,7 @@ impl MultiShotNode {
     /// are above `finalized`).
     fn requeue_batch(&mut self, ours: BlockHash) {
         if let Some(block) = self.store.get(ours) {
-            self.mempool.requeue_front(block.txs.clone());
+            self.mempool.requeue_front((*block.txs).clone());
             self.mempool_dirty = true;
         }
     }
@@ -690,8 +730,13 @@ impl MultiShotNode {
         if !parent_ok {
             return false;
         }
-        let safe = view.is_zero()
-            || node_determine_safe(&self.cfg, &inst.regs.proofs_at(view), view, value);
+        let safe = view.is_zero() || {
+            let mut proofs = std::mem::take(&mut self.scratch_proofs);
+            inst.regs.proofs_into(view, &mut proofs);
+            let certified = node_determine_safe(&self.cfg, &proofs, view, value);
+            self.scratch_proofs = proofs;
+            certified
+        };
         if !safe {
             return false;
         }
@@ -722,42 +767,62 @@ impl MultiShotNode {
         // Highest slot with a phase-4 quorum whose chain back to the
         // finalized tip is fully known.
         let quorum = self.cfg.quorum();
+        let baseline = self.params.hotpath_baseline();
         let mut best: Option<(Slot, BlockHash)> = None;
         for (slot, inst) in &self.instances {
-            if let Some((value, _)) = inst
-                .regs
-                .vote_value_tallies(Phase::VOTE4)
-                .into_iter()
-                .find(|(_, count)| *count >= quorum)
-            {
+            let value = if baseline {
+                inst.regs
+                    .vote_value_tallies(Phase::VOTE4)
+                    .into_iter()
+                    .find(|(_, count)| *count >= quorum)
+                    .map(|(value, _)| value)
+            } else {
+                inst.regs.quorum_value_any(Phase::VOTE4, quorum)
+            };
+            if let Some(value) = value {
                 best = Some((*slot, BlockHash::from_value(value)));
             }
         }
         let Some((slot, hash)) = best else { return false };
-        // Collect the chain from `hash` down to the current finalized tip.
-        let mut chain: Vec<(Slot, BlockHash, Block)> = Vec::new();
+        // Collect the chain from `hash` down to the current finalized tip,
+        // into the retained scratch (good case: a single link, no
+        // allocation; block clones are `Arc` bumps).
+        let mut chain = std::mem::take(&mut self.scratch_chain);
+        chain.clear();
         let mut cursor = hash;
         let mut cursor_slot = slot;
+        let mut intact = true;
         while cursor_slot > self.finalized {
-            let Some(block) = self.store.get(cursor) else { return false };
+            let Some(block) = self.store.get(cursor) else {
+                intact = false;
+                break;
+            };
             if block.slot != cursor_slot {
-                return false;
+                intact = false;
+                break;
             }
             chain.push((cursor_slot, cursor, block.clone()));
             cursor = block.parent;
             cursor_slot = match cursor_slot.prev() {
                 Some(p) => p,
-                None => return false,
+                None => {
+                    intact = false;
+                    break;
+                }
             };
         }
-        if cursor != self.finalized_hash {
-            return false; // fork against our finalized prefix: impossible
-                          // for well-behaved inputs (agreement), bail out.
+        if !intact || cursor != self.finalized_hash {
+            // Chain incomplete, or forked against our finalized prefix
+            // (impossible for well-behaved inputs — agreement): bail out.
+            chain.clear();
+            self.scratch_chain = chain;
+            return false;
         }
         chain.reverse();
-        for (s, h, block) in chain {
+        for (s, h, block) in chain.drain(..) {
             self.commit_block(s, h, block, ctx);
         }
+        self.scratch_chain = chain;
         // Keep a short tail of finalized blocks: in-flight votes may still
         // reference them as ancestors.
         self.store.prune_below(Slot(self.finalized.0.saturating_sub(4)));

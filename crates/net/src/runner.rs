@@ -9,11 +9,13 @@
 //! node. Timer generations, action dispatch, and the input mux (deliver /
 //! timer / client-submit) live in the engine, exactly as in the simulator.
 //!
-//! Outbound messages are staged per input: the transport frames each
-//! message once and parks it in a per-peer outbox; the engine's
-//! once-per-input [`Transport::flush`] hands each peer's batch to its link
-//! supervisor in a single channel operation, and the supervisor writes the
-//! whole batch through one buffered flush.
+//! Outbound messages are staged per event batch: each wakeup of the event
+//! loop drains every already-queued event (bounded by `MAX_BATCH`) through
+//! the engine's `*_buffered` entry points, the transport frames each
+//! message once and parks it in a per-peer outbox, and one
+//! [`Transport::flush`] at the end of the batch hands each peer's staged
+//! frames to its link supervisor in a single channel operation; the
+//! supervisor writes the whole batch through one buffered flush.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -398,8 +400,13 @@ where
             engine.start(now(), &mut transport);
         }
 
+        // How many queued events one wakeup may drain before it must seal:
+        // bounds both worst-case flush latency and how long persisted state
+        // can trail the newest processed input.
+        const MAX_BATCH: usize = 64;
+
         while !loop_stop.load(Ordering::Relaxed) {
-            let event = match event_rx.recv_timeout(Duration::from_millis(20)) {
+            let first = match event_rx.recv_timeout(Duration::from_millis(20)) {
                 Ok(event) => event,
                 Err(mpsc::RecvTimeoutError::Timeout) => continue,
                 Err(mpsc::RecvTimeoutError::Disconnected) => return,
@@ -413,16 +420,33 @@ where
                 scratch: &mut scratch,
                 outbox: &mut outbox,
             };
-            match event {
-                Event::Deliver { from, msg } => {
-                    engine.on_deliver(from, msg, now(), &mut transport);
+            // Drain whatever else is already queued (bursts of deliveries,
+            // due timers) in the same wakeup: one persist/flush seal and
+            // one channel round-trip per *batch* instead of per event.
+            let mut dispatched = false;
+            let mut event = Some(first);
+            let mut drained = 0;
+            while let Some(ev) = event.take() {
+                match ev {
+                    Event::Deliver { from, msg } => {
+                        engine.on_deliver_buffered(from, msg, now(), &mut transport);
+                        dispatched = true;
+                    }
+                    Event::Timer { id, generation } => {
+                        // Stale (replaced or cancelled) firings die in the
+                        // engine's generation filter.
+                        dispatched |=
+                            engine.on_timer_buffered(id, generation, now(), &mut transport);
+                    }
+                    Event::Submit(req) => on_submit(&mut engine, req),
                 }
-                Event::Timer { id, generation } => {
-                    // Stale (replaced or cancelled) firings die in the
-                    // engine's generation filter.
-                    engine.on_timer(id, generation, now(), &mut transport);
+                drained += 1;
+                if drained < MAX_BATCH {
+                    event = event_rx.try_recv().ok();
                 }
-                Event::Submit(req) => on_submit(&mut engine, req),
+            }
+            if dispatched {
+                engine.finish_batch(&mut transport);
             }
         }
     });

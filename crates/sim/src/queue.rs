@@ -63,6 +63,18 @@ impl<M> EventQueue<M> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Time and target node of the next event — what batched stepping uses
+    /// to decide whether the following event extends the current batch.
+    pub fn peek_target(&self) -> Option<(Time, NodeId)> {
+        self.heap.peek().map(|e| {
+            let node = match &e.kind {
+                EventKind::Deliver { to, .. } => *to,
+                EventKind::Timer { node, .. } => *node,
+            };
+            (e.at, node)
+        })
+    }
+
     pub fn len(&self) -> usize {
         self.heap.len()
     }

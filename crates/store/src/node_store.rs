@@ -66,6 +66,11 @@ pub struct NodeStore {
     mempool: Wal,
     /// Latest encoded vote record per slot (the compaction working set).
     latest_votes: BTreeMap<u64, Vec<u8>>,
+    /// Retained vote-record encode buffer ([`NodeStore::record_votes`] is
+    /// on the consensus persist path; steady state re-records the same
+    /// slots, so both this buffer and the `latest_votes` entries reuse
+    /// their capacity instead of allocating per record).
+    vote_scratch: Writer,
     /// Vote state restored at open, for the consumer to take once.
     restored: BTreeMap<u64, SlotVotes>,
     /// Mempool snapshot restored at open.
@@ -125,6 +130,7 @@ impl NodeStore {
             chain,
             mempool,
             latest_votes,
+            vote_scratch: Writer::new(),
             restored,
             restored_mempool,
             chain_index,
@@ -157,9 +163,20 @@ impl NodeStore {
         finalized: Slot,
         book: &VoteBook,
     ) -> Result<(), StoreError> {
-        let payload = encode_votes(slot, view, finalized, book);
-        self.votes.append(&payload)?;
-        self.latest_votes.insert(slot.0, payload);
+        self.vote_scratch.clear();
+        encode_votes_into(&mut self.vote_scratch, slot, view, finalized, book);
+        let payload = self.vote_scratch.as_bytes();
+        self.votes.append(payload)?;
+        match self.latest_votes.entry(slot.0) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let buf = e.get_mut();
+                buf.clear();
+                buf.extend_from_slice(payload);
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(payload.to_vec());
+            }
+        }
         self.last_finalized = self.last_finalized.max(finalized.0);
         self.latest_votes.retain(|s, _| *s > finalized.0);
         if self.votes.records() > self.latest_votes.len() as u64 + COMPACT_SLACK {
@@ -318,8 +335,7 @@ fn parse_meta(bytes: &[u8]) -> Option<u64> {
     Some(u64::from_be_bytes(bytes[8..16].try_into().ok()?))
 }
 
-fn encode_votes(slot: Slot, view: View, finalized: Slot, book: &VoteBook) -> Vec<u8> {
-    let mut w = Writer::with_capacity(128);
+fn encode_votes_into(w: &mut Writer, slot: Slot, view: View, finalized: Slot, book: &VoteBook) {
     w.put_u8(VOTE_VERSION);
     w.put_varint(slot.0);
     w.put_varint(view.0);
@@ -334,7 +350,6 @@ fn encode_votes(slot: Slot, view: View, finalized: Slot, book: &VoteBook) -> Vec
             }
         }
     }
-    w.into_bytes()
 }
 
 /// Decodes a vote record into `(slot state, finalized-at-write)`.
@@ -430,8 +445,9 @@ mod tests {
         // file must stay bounded by (live + COMPACT_SLACK) records of the
         // worst-case (all-varints-maximal) record size.
         let fat = 1u64 << 60;
-        let record_size =
-            frame_len(encode_votes(Slot(fat), View(fat), Slot(fat), &book(fat)).len());
+        let mut w = Writer::new();
+        encode_votes_into(&mut w, Slot(fat), View(fat), Slot(fat), &book(fat));
+        let record_size = frame_len(w.len());
         let bound = (8 + COMPACT_SLACK + 1) * record_size;
         for finalized in 0..2_000u64 {
             for live in 1..=8 {

@@ -15,12 +15,19 @@ use crate::crc::crc32;
 /// otherwise ask for gigabytes).
 pub const MAX_RECORD_BYTES: u64 = 1 << 24;
 
-/// Appends the framed encoding of `payload` to `out`.
-pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
-    let mut w = Writer::with_capacity(payload.len() + 14);
+/// Appends the framed encoding of `payload` to `w` — the scratch-reuse
+/// entry point: a retained, cleared [`Writer`] frames record after record
+/// without touching the allocator once its capacity settles.
+pub fn frame_into_writer(w: &mut Writer, payload: &[u8]) {
     w.put_varint(payload.len() as u64);
     w.put_slice(payload);
     w.put_u32(crc32(payload));
+}
+
+/// Appends the framed encoding of `payload` to `out`.
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    let mut w = Writer::with_capacity(payload.len() + 14);
+    frame_into_writer(&mut w, payload);
     out.extend_from_slice(w.as_bytes());
 }
 

@@ -5,10 +5,10 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use tetrabft_types::FsyncPolicy;
-use tetrabft_wire::Reader;
+use tetrabft_wire::{Reader, Writer};
 
 use crate::crc::crc32;
-use crate::record::{frame, frame_into, scan, MAX_RECORD_BYTES};
+use crate::record::{frame_into, frame_into_writer, scan, MAX_RECORD_BYTES};
 use crate::StoreError;
 
 /// One write-ahead log file: append-only CRC-framed records, torn-tail
@@ -42,6 +42,10 @@ pub struct Wal {
     records: u64,
     pending: u32,
     policy: FsyncPolicy,
+    /// Retained framing buffer: [`Wal::append`] is on the consensus
+    /// persist path, so the frame is built in reused capacity instead of
+    /// a fresh allocation per record.
+    scratch: Writer,
 }
 
 impl Wal {
@@ -68,18 +72,28 @@ impl Wal {
             file.sync_data()?;
         }
         let count = restored.len() as u64;
-        Ok((Wal { path, file, len: valid as u64, records: count, pending: 0, policy }, restored))
+        let wal = Wal {
+            path,
+            file,
+            len: valid as u64,
+            records: count,
+            pending: 0,
+            policy,
+            scratch: Writer::new(),
+        };
+        Ok((wal, restored))
     }
 
     /// Appends one record, returning the file offset its frame starts at.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
         debug_assert!((payload.len() as u64) <= MAX_RECORD_BYTES);
-        let framed = frame(payload);
+        self.scratch.clear();
+        frame_into_writer(&mut self.scratch, payload);
         // Seek explicitly: open-time truncation (and reads) move the cursor.
         self.file.seek(SeekFrom::Start(self.len))?;
-        self.file.write_all(&framed)?;
+        self.file.write_all(self.scratch.as_bytes())?;
         let offset = self.len;
-        self.len += framed.len() as u64;
+        self.len += self.scratch.len() as u64;
         self.records += 1;
         self.pending += 1;
         if self.policy.sync_due(self.pending) {

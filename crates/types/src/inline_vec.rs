@@ -1,0 +1,541 @@
+//! A no-dependency small-vector: inline storage for the first `N` elements,
+//! spilling to the heap only past that.
+//!
+//! The consensus hot path produces short, bounded bursts — an engine step
+//! emits a handful of [`Action`]s, a view collects at most `n` suggests, a
+//! slot window holds 8 instances. A plain `Vec` heap-allocates for the very
+//! first push; `InlineVec<T, N>` keeps the good case on the stack and only
+//! pays for a heap allocation when a burst genuinely exceeds `N` (the
+//! smallvec idea, re-implemented here because the repo builds offline).
+//!
+//! The implementation is 100 % safe code: inline slots are `[Option<T>; N]`,
+//! so no `MaybeUninit` bookkeeping is needed. The price is one discriminant
+//! per slot — irrelevant next to the allocations it removes.
+//!
+//! (`Action` is the engine's effect enum, defined in `tetrabft-engine`.)
+
+use std::fmt;
+
+/// A growable sequence whose first `N` elements live inline (no heap).
+///
+/// Push-order iteration, `O(1)` push/pop at the back, and a one-way *spill*:
+/// once the length exceeds `N` all elements move to an internal `Vec` and
+/// stay there until [`InlineVec::clear`] (which retains the heap capacity,
+/// so a buffer that spilled once never allocates again in steady state).
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_types::InlineVec;
+///
+/// let mut v: InlineVec<u32, 4> = InlineVec::new();
+/// for x in 0..4 {
+///     v.push(x);
+/// }
+/// assert!(!v.spilled());
+/// v.push(4); // fifth element: spills to the heap
+/// assert!(v.spilled());
+/// assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+/// ```
+pub struct InlineVec<T, const N: usize> {
+    /// Inline slots; `slots[..len]` are `Some` while not spilled.
+    slots: [Option<T>; N],
+    /// Number of live inline elements (0 while spilled).
+    len: usize,
+    /// Overflow storage; holds *all* elements once spilled.
+    heap: Vec<T>,
+    spilled: bool,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector. Does not allocate.
+    #[inline]
+    pub fn new() -> Self {
+        InlineVec { slots: std::array::from_fn(|_| None), len: 0, heap: Vec::new(), spilled: false }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.len
+        }
+    }
+
+    /// `true` if no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` once the vector has overflowed its inline capacity. Cleared
+    /// by [`InlineVec::clear`] (the heap capacity is kept either way).
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Appends an element. Allocates only on the push that first exceeds
+    /// `N` (or never, if a previous spill left enough heap capacity).
+    pub fn push(&mut self, value: T) {
+        if self.spilled {
+            self.heap.push(value);
+        } else if self.len < N {
+            self.slots[self.len] = Some(value);
+            self.len += 1;
+        } else {
+            self.heap.reserve(N + 1);
+            for slot in &mut self.slots {
+                self.heap.push(slot.take().expect("inline slot below len is Some"));
+            }
+            self.heap.push(value);
+            self.len = 0;
+            self.spilled = true;
+        }
+    }
+
+    /// Removes and returns the last element, or `None` if empty.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.spilled {
+            self.heap.pop()
+        } else if self.len > 0 {
+            self.len -= 1;
+            self.slots[self.len].take()
+        } else {
+            None
+        }
+    }
+
+    /// The element at `index`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if self.spilled {
+            self.heap.get(index)
+        } else if index < self.len {
+            self.slots[index].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the element at `index`.
+    #[inline]
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if self.spilled {
+            self.heap.get_mut(index)
+        } else if index < self.len {
+            self.slots[index].as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// The last element, or `None` if empty.
+    #[inline]
+    pub fn last(&self) -> Option<&T> {
+        match self.len() {
+            0 => None,
+            n => self.get(n - 1),
+        }
+    }
+
+    /// Removes the element at `index` in `O(1)` by swapping the last
+    /// element into its place. Order is not preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn swap_remove(&mut self, index: usize) -> T {
+        if self.spilled {
+            return self.heap.swap_remove(index);
+        }
+        assert!(index < self.len, "swap_remove index {index} out of bounds (len {})", self.len);
+        self.len -= 1;
+        let last = self.slots[self.len].take().expect("inline slot below len is Some");
+        match self.slots[index].replace(last) {
+            Some(removed) => removed,
+            // index == old last: the replace put `last` back where it was.
+            None => self.slots[index].take().expect("just replaced"),
+        }
+    }
+
+    /// Drops all elements. Inline slots are reset and any heap capacity is
+    /// retained, so a long-lived scratch buffer reaches a zero-allocation
+    /// steady state even if occasional bursts spill.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots[..self.len] {
+            *slot = None;
+        }
+        self.len = 0;
+        self.heap.clear();
+        self.spilled = false;
+    }
+
+    /// Iterates the elements in push order.
+    #[inline]
+    pub fn iter(&self) -> Iter<'_, T, N> {
+        Iter { vec: self, index: 0 }
+    }
+
+    /// Removes all elements, yielding them in push order. Equivalent to
+    /// draining the full range of a `Vec`. If the vector had spilled, the
+    /// heap buffer is consumed (the common scratch-reuse pattern drains
+    /// un-spilled buffers, which keep everything in place).
+    pub fn drain(&mut self) -> Drain<'_, T, N> {
+        let overflow = if self.spilled {
+            self.spilled = false;
+            Some(std::mem::take(&mut self.heap).into_iter())
+        } else {
+            None
+        };
+        Drain { vec: self, index: 0, overflow }
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    #[inline]
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = InlineVec::new();
+        out.extend(self.iter().cloned());
+        out
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = InlineVec::new();
+        out.extend(iter);
+        out
+    }
+}
+
+/// Borrowing iterator in push order.
+pub struct Iter<'a, T, const N: usize> {
+    vec: &'a InlineVec<T, N>,
+    index: usize,
+}
+
+impl<'a, T, const N: usize> Iterator for Iter<'a, T, N> {
+    type Item = &'a T;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a T> {
+        let item = self.vec.get(self.index)?;
+        self.index += 1;
+        Some(item)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.vec.len().saturating_sub(self.index);
+        (rest, Some(rest))
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for Iter<'_, T, N> {}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T, N>;
+
+    #[inline]
+    fn into_iter(self) -> Iter<'a, T, N> {
+        self.iter()
+    }
+}
+
+/// Draining iterator: removes elements in push order; whatever is not
+/// consumed is dropped when the iterator is.
+pub struct Drain<'a, T, const N: usize> {
+    vec: &'a mut InlineVec<T, N>,
+    index: usize,
+    /// Set when the source had spilled: the whole heap buffer, taken.
+    overflow: Option<std::vec::IntoIter<T>>,
+}
+
+impl<T, const N: usize> Iterator for Drain<'_, T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if let Some(overflow) = &mut self.overflow {
+            return overflow.next();
+        }
+        if self.index < self.vec.len {
+            let item = self.vec.slots[self.index].take().expect("inline slot below len is Some");
+            self.index += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = match &self.overflow {
+            Some(overflow) => overflow.len(),
+            None => self.vec.len.saturating_sub(self.index),
+        };
+        (rest, Some(rest))
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for Drain<'_, T, N> {}
+
+impl<T, const N: usize> Drop for Drain<'_, T, N> {
+    fn drop(&mut self) {
+        // Unconsumed overflow elements drop with the taken IntoIter.
+        for slot in &mut self.vec.slots[self.index..self.vec.len] {
+            *slot = None;
+        }
+        self.vec.len = 0;
+    }
+}
+
+/// Owning iterator in push order.
+pub struct IntoIter<T, const N: usize> {
+    slots: [Option<T>; N],
+    len: usize,
+    index: usize,
+    overflow: Option<std::vec::IntoIter<T>>,
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if let Some(overflow) = &mut self.overflow {
+            return overflow.next();
+        }
+        if self.index < self.len {
+            let item = self.slots[self.index].take();
+            self.index += 1;
+            item
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = match &self.overflow {
+            Some(overflow) => overflow.len(),
+            None => self.len.saturating_sub(self.index),
+        };
+        (rest, Some(rest))
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+
+    fn into_iter(self) -> IntoIter<T, N> {
+        let overflow = if self.spilled { Some(self.heap.into_iter()) } else { None };
+        IntoIter { slots: self.slots, len: self.len, index: 0, overflow }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let v: InlineVec<u32, 4> = InlineVec::new();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+        assert_eq!(v.get(0), None);
+        assert_eq!(v.last(), None);
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    fn push_within_inline_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for x in 0..4 {
+            v.push(x);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(!v.spilled());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(v.last(), Some(&3));
+    }
+
+    #[test]
+    fn spill_past_inline_capacity_preserves_order() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for x in 0..10 {
+            v.push(x);
+        }
+        assert_eq!(v.len(), 10);
+        assert!(v.spilled());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_inline_and_spilled() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.pop(), Some(2));
+        v.push(2);
+        v.push(3); // spill
+        assert!(v.spilled());
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn clear_resets_and_unspills() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for x in 0..5 {
+            v.push(x);
+        }
+        assert!(v.spilled());
+        v.clear();
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+        v.push(9);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![9]);
+        assert!(!v.spilled());
+    }
+
+    #[test]
+    fn drain_yields_in_push_order_and_empties() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.extend(0..3);
+        assert_eq!(v.drain().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(v.is_empty());
+        v.extend(0..7); // spill
+        assert_eq!(v.drain().collect::<Vec<_>>(), (0..7).collect::<Vec<_>>());
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+    }
+
+    #[test]
+    fn partially_consumed_drain_drops_the_rest() {
+        let mut v: InlineVec<String, 2> = InlineVec::new();
+        v.extend(["a", "b", "c", "d"].map(String::from));
+        {
+            let mut d = v.drain();
+            assert_eq!(d.next().as_deref(), Some("a"));
+        }
+        assert!(v.is_empty());
+        // Same for the inline case.
+        v.push("x".into());
+        v.push("y".into());
+        {
+            let mut d = v.drain();
+            assert_eq!(d.next().as_deref(), Some("x"));
+        }
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_inline_and_spilled() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.extend([10, 20, 30]);
+        assert_eq!(v.swap_remove(0), 10);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![30, 20]);
+        assert_eq!(v.swap_remove(1), 20);
+        assert_eq!(v.swap_remove(0), 30);
+        assert!(v.is_empty());
+
+        let mut s: InlineVec<u32, 2> = (0..5).collect();
+        assert!(s.spilled());
+        assert_eq!(s.swap_remove(1), 1);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![0, 4, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn swap_remove_out_of_bounds_panics() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.push(1);
+        let _ = v.swap_remove(1);
+    }
+
+    #[test]
+    fn clone_and_eq_cross_representation() {
+        let inline: InlineVec<u32, 8> = (0..5).collect();
+        let spilled: InlineVec<u32, 2> = (0..5).collect();
+        assert!(!inline.spilled() && spilled.spilled());
+        // PartialEq is over the sequence, not the representation.
+        assert_eq!(inline.iter().collect::<Vec<_>>(), spilled.iter().collect::<Vec<_>>());
+        let c = spilled.clone();
+        assert_eq!(c, spilled);
+        let d = inline.clone();
+        assert_eq!(d, inline);
+        assert_ne!(d, (0..4).collect::<InlineVec<u32, 8>>());
+    }
+
+    #[test]
+    fn into_iter_owned() {
+        let v: InlineVec<String, 2> = ["a", "b", "c"].map(String::from).into_iter().collect();
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        let w: InlineVec<String, 8> = ["x", "y"].map(String::from).into_iter().collect();
+        assert_eq!(w.into_iter().collect::<Vec<_>>(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut v: InlineVec<u32, 2> = (0..4).collect();
+        *v.get_mut(2).unwrap() = 99;
+        assert_eq!(v.get(2), Some(&99));
+        let mut w: InlineVec<u32, 4> = (0..2).collect();
+        *w.get_mut(0).unwrap() = 42;
+        assert_eq!(w.get(0), Some(&42));
+        assert_eq!(w.get_mut(5), None);
+    }
+
+    #[test]
+    fn spilled_buffer_reuses_capacity_after_clear() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.extend(0..10);
+        let cap_before = v.heap.capacity();
+        v.clear();
+        v.extend(0..10);
+        assert_eq!(v.heap.capacity(), cap_before, "clear must retain heap capacity");
+    }
+
+    #[test]
+    fn debug_formats_as_list() {
+        let v: InlineVec<u32, 4> = (0..3).collect();
+        assert_eq!(format!("{v:?}"), "[0, 1, 2]");
+    }
+}

@@ -31,6 +31,7 @@
 mod config;
 mod fsync;
 mod ids;
+mod inline_vec;
 mod phase;
 mod value;
 mod votebook;
@@ -38,6 +39,7 @@ mod votebook;
 pub use config::{Config, ConfigError};
 pub use fsync::FsyncPolicy;
 pub use ids::{NodeId, Slot, View};
+pub use inline_vec::InlineVec;
 pub use phase::Phase;
 pub use value::Value;
 pub use votebook::{VoteBook, VoteInfo};

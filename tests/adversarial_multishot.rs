@@ -99,8 +99,8 @@ impl Node for VoteWithholder {
     type Output = Finalized;
 
     fn handle(&mut self, input: Input<MsMessage>, ctx: &mut Context<'_, MsMessage, Finalized>) {
-        use tetrabft_sim::{Action, Dest};
-        let mut buf: Vec<Action<MsMessage, Finalized>> = Vec::new();
+        use tetrabft_sim::{Action, ActionBuf, Dest};
+        let mut buf: ActionBuf<MsMessage, Finalized> = ActionBuf::new();
         {
             let mut inner_ctx = Context::buffered(ctx.me(), ctx.n(), ctx.now(), &mut buf);
             self.inner.handle(input, &mut inner_ctx);

@@ -1,0 +1,114 @@
+//! Batched stepping must be invisible: a simulation run with
+//! [`SimBuilder::batched`] on is byte-for-byte identical — same outputs at
+//! the same virtual times, same traces, same communication metrics — to
+//! the same run with batching off. Batching only coalesces the persist/
+//! flush seal across events the unbatched loop would process back-to-back
+//! anyway, so any divergence here is a dispatch-order bug, not a tuning
+//! difference.
+
+use tetrabft_sim::{OutputRecord, TraceEvent};
+use tetrabft_suite::prelude::*;
+
+/// Everything observable about one run.
+#[derive(Debug, PartialEq)]
+struct RunRecord<O, M> {
+    outputs: Vec<OutputRecord<O>>,
+    trace: Vec<TraceEvent<M>>,
+    bytes_sent: u64,
+    msgs_sent: u64,
+    events_processed: u64,
+    final_time: Time,
+}
+
+fn record<O: Clone, M: Clone + tetrabft_sim::WireSize>(sim: &Sim<M, O>) -> RunRecord<O, M> {
+    RunRecord {
+        outputs: sim.outputs().to_vec(),
+        trace: sim.trace().map(<[TraceEvent<M>]>::to_vec).unwrap_or_default(),
+        bytes_sent: sim.metrics().total_bytes_sent(),
+        msgs_sent: sim.metrics().total_msgs_sent(),
+        events_processed: sim.metrics().events_processed,
+        final_time: sim.now(),
+    }
+}
+
+fn single_shot_run(seed: u64, jitter_max: u64, batched: bool) -> RunRecord<Value, Message> {
+    let cfg = Config::new(4).unwrap();
+    let mut sim = SimBuilder::new(4)
+        .seed(seed)
+        .policy(LinkPolicy::jittered(1, jitter_max))
+        .record_trace(true)
+        .batched(batched)
+        .build(|id| {
+            TetraNode::new(cfg, Params::new(25 + jitter_max), id, Value::from_u64(u64::from(id.0)))
+        });
+    sim.run_until(Time(500));
+    record(&sim)
+}
+
+fn multishot_run(seed: u64, batched: bool) -> RunRecord<Finalized, MsMessage> {
+    let cfg = Config::new(4).unwrap();
+    let mut sim = SimBuilder::new(4)
+        .seed(seed)
+        .policy(LinkPolicy::jittered(1, 4))
+        .record_trace(true)
+        .batched(batched)
+        .build(|id| MultiShotNode::new(cfg, Params::new(20), id));
+    sim.run_until(Time(400));
+    record(&sim)
+}
+
+#[test]
+fn single_shot_runs_are_identical_batched_or_not() {
+    for seed in [7u64, 1234, 0xFEED] {
+        for jitter in [1u64, 4] {
+            let unbatched = single_shot_run(seed, jitter, false);
+            let batched = single_shot_run(seed, jitter, true);
+            assert_eq!(
+                unbatched, batched,
+                "seed {seed} jitter {jitter}: batched stepping changed the run"
+            );
+            assert!(!unbatched.outputs.is_empty(), "runs must actually decide");
+        }
+    }
+}
+
+#[test]
+fn multishot_runs_are_identical_batched_or_not() {
+    for seed in [7u64, 1234, 0xFEED] {
+        let unbatched = multishot_run(seed, false);
+        let batched = multishot_run(seed, true);
+        assert_eq!(unbatched, batched, "seed {seed}: batched stepping changed the run");
+        let chain: Vec<(Slot, BlockHash)> = batched
+            .outputs
+            .iter()
+            .filter(|o| o.node == NodeId(0))
+            .map(|o| (o.output.slot, o.output.hash))
+            .collect();
+        assert!(chain.len() > 5, "the chain must actually grow (seed {seed})");
+    }
+}
+
+#[test]
+fn batched_stepping_survives_faults_and_partitions() {
+    // Batching must also not disturb runs where view changes, drops, and
+    // timer storms dominate — the paths where dispatch coalescing sees
+    // stale timers and re-deliveries.
+    let run = |batched: bool| {
+        let cfg = Config::new(4).unwrap();
+        let mut sim = SimBuilder::new(4)
+            .seed(99)
+            .policy(LinkPolicy::partial_synchrony(Time(150), 10, 2))
+            .record_trace(true)
+            .batched(batched)
+            .build(|id| MultiShotNode::new(cfg, Params::new(10), id));
+        sim.run_until(Time(600));
+        record(&sim)
+    };
+    let unbatched = run(false);
+    let batched = run(true);
+    assert_eq!(unbatched, batched);
+    assert!(
+        batched.outputs.iter().any(|o| o.node == NodeId(0)),
+        "the chain must recover after GST"
+    );
+}

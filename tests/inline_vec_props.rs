@@ -1,0 +1,130 @@
+//! Model-based properties for [`InlineVec`]: every operation sequence must
+//! behave exactly like a plain `Vec`, inline or spilled, and the
+//! representation boundary (the spill at `N`) must be invisible to every
+//! observer except `spilled()` itself.
+
+use proptest::prelude::*;
+use tetrabft_types::InlineVec;
+
+/// Operations exercised against the `Vec` model.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u64),
+    Pop,
+    SwapRemove(usize),
+    Clear,
+    Drain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1000).prop_map(Op::Push),
+        Just(Op::Pop),
+        (0usize..16).prop_map(Op::SwapRemove),
+        Just(Op::Clear),
+        Just(Op::Drain),
+    ]
+}
+
+/// Applies one op to both the model and the subject, asserting agreement on
+/// every return value.
+fn apply<const N: usize>(op: Op, model: &mut Vec<u64>, subject: &mut InlineVec<u64, N>) {
+    match op {
+        Op::Push(x) => {
+            model.push(x);
+            subject.push(x);
+        }
+        Op::Pop => assert_eq!(model.pop(), subject.pop()),
+        Op::SwapRemove(i) => {
+            // Only valid indices; out-of-bounds panics are covered by a
+            // dedicated unit test.
+            if i < model.len() {
+                assert_eq!(model.swap_remove(i), subject.swap_remove(i));
+            }
+        }
+        Op::Clear => {
+            model.clear();
+            subject.clear();
+        }
+        Op::Drain => {
+            let drained: Vec<u64> = subject.drain().collect();
+            assert_eq!(std::mem::take(model), drained);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary op sequences agree with the `Vec` model at a small inline
+    /// capacity (spill happens constantly).
+    #[test]
+    fn matches_vec_model_small_capacity(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut model: Vec<u64> = Vec::new();
+        let mut subject: InlineVec<u64, 3> = InlineVec::new();
+        for op in ops {
+            apply(op, &mut model, &mut subject);
+            prop_assert_eq!(model.len(), subject.len());
+            prop_assert_eq!(model.last(), subject.last());
+            prop_assert!(model.iter().eq(subject.iter()), "iteration order diverged");
+        }
+    }
+
+    /// Same model agreement at a large inline capacity (spill is rare).
+    #[test]
+    fn matches_vec_model_large_capacity(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut model: Vec<u64> = Vec::new();
+        let mut subject: InlineVec<u64, 32> = InlineVec::new();
+        for op in ops {
+            apply(op, &mut model, &mut subject);
+            prop_assert!(model.iter().eq(subject.iter()), "iteration order diverged");
+        }
+    }
+
+    /// Pushing k elements spills exactly when k > N, and the spill never
+    /// changes the observable sequence.
+    #[test]
+    fn spill_boundary_is_exact(k in 0usize..20) {
+        let mut v: InlineVec<u64, 5> = InlineVec::new();
+        for x in 0..k as u64 {
+            v.push(x);
+        }
+        prop_assert_eq!(v.spilled(), k > 5);
+        prop_assert_eq!(v.len(), k);
+        prop_assert!(v.iter().copied().eq(0..k as u64));
+    }
+
+    /// Clone preserves the sequence and is independent of the original.
+    #[test]
+    fn clone_is_deep_and_order_preserving(xs in proptest::collection::vec(0u64..100, 0..20)) {
+        let original: InlineVec<u64, 4> = xs.iter().copied().collect();
+        let mut copy = original.clone();
+        prop_assert_eq!(&copy, &original);
+        prop_assert!(copy.iter().eq(xs.iter()));
+        copy.push(12345);
+        prop_assert_eq!(original.len(), xs.len(), "clone must not alias the original");
+    }
+
+    /// Drain yields push order and leaves an empty, reusable buffer.
+    #[test]
+    fn drain_restores_empty_buffer(xs in proptest::collection::vec(0u64..100, 0..20)) {
+        let mut v: InlineVec<u64, 4> = xs.iter().copied().collect();
+        let drained: Vec<u64> = v.drain().collect();
+        prop_assert_eq!(drained, xs.clone());
+        prop_assert!(v.is_empty());
+        prop_assert!(!v.spilled());
+        // The buffer stays usable after a drain.
+        v.extend(xs.iter().copied());
+        prop_assert!(v.iter().eq(xs.iter()));
+    }
+
+    /// Owned iteration equals borrowed iteration equals the source.
+    #[test]
+    fn into_iter_matches_iter(xs in proptest::collection::vec(0u64..100, 0..20)) {
+        let v: InlineVec<u64, 6> = xs.iter().copied().collect();
+        let borrowed: Vec<u64> = v.iter().copied().collect();
+        let owned: Vec<u64> = v.into_iter().collect();
+        prop_assert_eq!(&borrowed, &xs);
+        prop_assert_eq!(owned, xs);
+    }
+}

@@ -175,7 +175,7 @@ fn batch_drain_order_is_fifo_across_blocks() {
         .iter()
         .filter(|o| o.node == NodeId(0))
         .filter(|o| MultiShotNode::leader_of(&cfg, o.output.slot, View(0)) == NodeId(0))
-        .flat_map(|o| o.output.block.txs.clone())
+        .flat_map(|o| o.output.block.txs.iter().cloned())
         .collect();
     let expected: Vec<Vec<u8>> = (0..40u32).map(|k| format!("fifo-{k:03}").into_bytes()).collect();
     assert_eq!(drained, expected, "txs must finalize in submission order");
@@ -221,7 +221,7 @@ fn admitted_txs_survive_lost_view_changes() {
         .outputs()
         .iter()
         .filter(|o| o.node == NodeId(1))
-        .flat_map(|o| o.output.block.txs.clone())
+        .flat_map(|o| o.output.block.txs.iter().cloned())
         .collect();
     for tx in &txs {
         assert!(
