@@ -1,7 +1,7 @@
 //! Message types of Basic TetraBFT (Section 3.1).
 
 use tetrabft_sim::WireSize;
-use tetrabft_types::{Phase, Value, View, VoteInfo};
+use tetrabft_types::{AuditClaim, Phase, Value, View, VoteInfo};
 use tetrabft_wire::{Reader, Wire, WireError, Writer};
 
 /// Encodes a historical vote against the base view both ends already know
@@ -260,6 +260,21 @@ impl WireSize for Message {
     }
     fn wire_kind(&self) -> &'static str {
         self.kind()
+    }
+    /// Proposals and votes claim a write-once `(view, phase)` register — the
+    /// accountability audit flags a sender that claims one twice with
+    /// different values. Suggest/proof/view-change carry history, not
+    /// claims, and are not audited.
+    fn audit_claim(&self) -> Option<AuditClaim> {
+        match self {
+            Message::Proposal { view, value } => {
+                Some(AuditClaim { slot: None, view: *view, phase: None, value: *value })
+            }
+            Message::Vote { phase, view, value } => {
+                Some(AuditClaim { slot: None, view: *view, phase: Some(*phase), value: *value })
+            }
+            _ => None,
+        }
     }
 }
 

@@ -8,9 +8,22 @@
 //! information a future view needs is ever lost, while total memory stays
 //! O(n) — constant per peer — as the Table 1 storage column requires.
 
-use tetrabft_types::{Config, InlineVec, NodeId, Phase, Value, View, VoteInfo};
+use tetrabft_types::{Config, Evidence, InlineVec, NodeId, Phase, Value, View, VoteInfo};
 
 use crate::msg::{Message, ProofData, SuggestData};
+
+/// Most evidence records a register file retains. One record is enough to
+/// convict a node, so the cap only bounds memory against evidence spam;
+/// dedup is per `(node, view, phase)` register.
+const EVIDENCE_CAP: usize = 64;
+
+fn push_evidence(evidence: &mut Vec<Evidence>, ev: Evidence) {
+    let dup =
+        evidence.iter().any(|e| e.node == ev.node && e.view == ev.view && e.phase == ev.phase);
+    if !dup && evidence.len() < EVIDENCE_CAP {
+        evidence.push(ev);
+    }
+}
 
 /// One tally table: distinct `(view, value)` pairs among the peers' *latest*
 /// votes in one phase, with their counts. Latest-vote-per-peer bounds the
@@ -125,11 +138,20 @@ pub struct Registers {
     /// values) lookups with zero allocation, replacing the O(n) re-scan per
     /// engine step of [`Registers::vote_tallies`].
     tallies: [TallyTable; 4],
+    /// Equivocation evidence harvested by [`Registers::record`]: a peer that
+    /// re-claims a same-view register with a *different* value convicts
+    /// itself (channels are authenticated), and the conflicting pair is
+    /// retained as an auditable record. Best-effort by design — the
+    /// registers keep only the latest view per slot, so conflicts against
+    /// already-overwritten views go undetected here (the simulator's
+    /// omniscient recorder catches those).
+    evidence: Vec<Evidence>,
 }
 
 /// Equality is over the peer registers only: the tally tables are a pure
 /// function of them (entry *order* varies with arrival history, which must
-/// not affect equality).
+/// not affect equality), and the evidence log is an audit side-channel, not
+/// protocol state.
 impl PartialEq for Registers {
     fn eq(&self, other: &Self) -> bool {
         self.peers == other.peers
@@ -144,7 +166,13 @@ impl Registers {
         Registers {
             peers: vec![PeerRecord::default(); cfg.n()],
             tallies: std::array::from_fn(|_| TallyTable::new()),
+            evidence: Vec::new(),
         }
+    }
+
+    /// Equivocation evidence harvested while recording, in detection order.
+    pub fn evidence(&self) -> &[Evidence] {
+        &self.evidence
     }
 
     /// The record of one peer.
@@ -160,12 +188,42 @@ impl Registers {
         let peer = &mut self.peers[from.index()];
         match msg {
             Message::Proposal { view, value } => {
+                if let Some(held) = peer.proposal {
+                    if held.view == *view && held.value != *value {
+                        push_evidence(
+                            &mut self.evidence,
+                            Evidence {
+                                node: from,
+                                slot: None,
+                                view: *view,
+                                phase: None,
+                                first: held.value,
+                                second: *value,
+                            },
+                        );
+                    }
+                }
                 if peer.proposal.is_none_or(|held| *view > held.view) {
                     peer.proposal = Some(VoteInfo::new(*view, *value));
                 }
             }
             Message::Vote { phase, view, value } => {
                 let slot = &mut peer.votes[phase.index()];
+                if let Some(held) = slot {
+                    if held.view == *view && held.value != *value {
+                        push_evidence(
+                            &mut self.evidence,
+                            Evidence {
+                                node: from,
+                                slot: None,
+                                view: *view,
+                                phase: Some(*phase),
+                                first: held.value,
+                                second: *value,
+                            },
+                        );
+                    }
+                }
                 if slot.is_none_or(|held| *view > held.view) {
                     let outgoing = slot.replace(VoteInfo::new(*view, *value));
                     let table = &mut self.tallies[phase.index()];
@@ -546,6 +604,30 @@ mod tests {
         b.record(NodeId(1), &vote(Phase::VOTE1, 1, 6));
         b.record(NodeId(0), &vote(Phase::VOTE1, 1, 5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equivocation_yields_named_evidence() {
+        let mut regs = Registers::new(&cfg());
+        regs.record(NodeId(3), &vote(Phase::VOTE1, 7, 1));
+        regs.record(NodeId(3), &vote(Phase::VOTE1, 7, 2));
+        regs.record(NodeId(3), &vote(Phase::VOTE1, 7, 3)); // same register: deduped
+        let ev = regs.evidence();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].node, NodeId(3));
+        assert_eq!(ev[0].view, View(7));
+        assert_eq!(ev[0].phase, Some(Phase::VOTE1));
+        assert_eq!((ev[0].first, ev[0].second), (Value::from_u64(1), Value::from_u64(2)));
+        assert!(ev[0].to_string().contains("node 3 voted both"), "{}", ev[0]);
+        // A proposer equivocating in one view is evidence too (phase None).
+        regs.record(NodeId(1), &Message::Proposal { view: View(2), value: Value::from_u64(8) });
+        regs.record(NodeId(1), &Message::Proposal { view: View(2), value: Value::from_u64(9) });
+        assert_eq!(regs.evidence().len(), 2);
+        assert!(regs.evidence()[1].phase.is_none());
+        // Honest re-votes across views never convict.
+        regs.record(NodeId(0), &vote(Phase::VOTE2, 1, 5));
+        regs.record(NodeId(0), &vote(Phase::VOTE2, 2, 6));
+        assert_eq!(regs.evidence().len(), 2);
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub trait WireSize {
     fn wire_kind(&self) -> &'static str {
         "message"
     }
+
+    /// The write-once register this message claims, if any — the hook the
+    /// accountability audit hangs off. Protocol messages that commit their
+    /// sender to one value per `(slot, view, phase)` register (proposals,
+    /// votes) return `Some`; recovery traffic and test doubles return the
+    /// default `None` and are never audited.
+    fn audit_claim(&self) -> Option<tetrabft_types::AuditClaim> {
+        None
+    }
 }
 
 /// Identifier of a protocol timer, chosen by the protocol.

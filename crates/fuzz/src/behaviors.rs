@@ -1,0 +1,183 @@
+//! Protocol-speaking Byzantine behaviors for the fuzzer.
+//!
+//! Each constructor returns a [`Behavior`] that a
+//! [`ByzantineActor`](tetrabft_sim::ByzantineActor) composes with others.
+//! Single-shot behaviors speak [`Message`], chain behaviors speak
+//! [`MsMessage`]; the scenario builder picks the right family from
+//! [`Mode`](crate::Mode).
+
+use tetrabft::Message;
+use tetrabft_multishot::{BlockHash, MsMessage};
+use tetrabft_sim::{Behavior, BehaviorEnv, Dest, FnBehavior, Input};
+use tetrabft_types::{Phase, Slot, Value, View};
+
+/// Ensures the equivocation offset actually flips at least one bit.
+fn nonzero(flip: u64) -> u64 {
+    flip | 1
+}
+
+/// Split-brain equivocator: courts even-numbered peers with one value and
+/// odd-numbered peers with a conflicting one.
+///
+/// On `Start` it poses as the view-0 leader, sending each side its own
+/// proposal plus matching votes through all four phases — if this node
+/// really is the view-0 leader and enough Byzantine peers run the same
+/// strategy, each honest side can assemble a full quorum for its value.
+/// Afterwards it echoes every delivered vote per-recipient: verbatim to
+/// even peers, value-flipped to odd peers, feeding both sides in later
+/// views too. The per-recipient conflict is exactly what the omniscient
+/// wire recorder and honest registers convict as equivocation evidence.
+pub fn equivocator(flip: u64) -> impl Behavior<Message> {
+    let flip = nonzero(flip);
+    let base = 0xe0_0001u64;
+    FnBehavior::new(
+        move |input: &Input<Message>, env: &BehaviorEnv, out: &mut Vec<(Dest, Message)>| match input
+        {
+            Input::Start => {
+                for peer in 0..env.n as u16 {
+                    if peer == env.me.0 {
+                        continue;
+                    }
+                    let side = if peer % 2 == 0 { base } else { base ^ flip };
+                    let value = Value::from_u64(side);
+                    let dest = Dest::Node(tetrabft_types::NodeId(peer));
+                    out.push((dest, Message::Proposal { view: View(0), value }));
+                    for phase in Phase::ALL {
+                        out.push((dest, Message::Vote { phase, view: View(0), value }));
+                    }
+                }
+            }
+            Input::Deliver { msg: Message::Vote { phase, view, value }, .. } => {
+                for peer in 0..env.n as u16 {
+                    if peer == env.me.0 {
+                        continue;
+                    }
+                    let side =
+                        if peer % 2 == 0 { *value } else { Value::from_u64(value.as_u64() ^ flip) };
+                    out.push((
+                        Dest::Node(tetrabft_types::NodeId(peer)),
+                        Message::Vote { phase: *phase, view: *view, value: side },
+                    ));
+                }
+            }
+            _ => {}
+        },
+    )
+}
+
+/// Replays every delivered vote shifted `view_offset` views into the future,
+/// probing the view-change and register bookkeeping with stale ballots that
+/// claim to be fresh.
+pub fn skewed_replayer(view_offset: u64) -> impl Behavior<Message> {
+    FnBehavior::new(
+        move |input: &Input<Message>, _env: &BehaviorEnv, out: &mut Vec<(Dest, Message)>| {
+            if let Input::Deliver { msg: Message::Vote { phase, view, value }, .. } = input {
+                out.push((
+                    Dest::All,
+                    Message::Vote {
+                        phase: *phase,
+                        view: View(view.0.saturating_add(view_offset)),
+                        value: *value,
+                    },
+                ));
+            }
+        },
+    )
+}
+
+/// On every adversary tick, broadcasts a rotating stream of forged proposals
+/// and votes across low views. Because the rotation period of the value
+/// (3) and the register (4 phases × 5 views) are coprime, the spammer also
+/// self-equivocates over time, exercising the evidence path.
+pub fn value_spammer() -> impl Behavior<Message> {
+    let mut k: u64 = 0;
+    FnBehavior::new(
+        move |input: &Input<Message>, _env: &BehaviorEnv, out: &mut Vec<(Dest, Message)>| {
+            if matches!(input, Input::Timer { .. }) {
+                k += 1;
+                out.push((
+                    Dest::All,
+                    Message::Vote {
+                        phase: Phase::ALL[(k % 4) as usize],
+                        view: View(k % 5),
+                        value: Value::from_u64(0xbad_0000 + k % 3),
+                    },
+                ));
+                out.push((
+                    Dest::All,
+                    Message::Proposal {
+                        view: View(k % 5),
+                        value: Value::from_u64(0xbad_1000 + k % 3),
+                    },
+                ));
+            }
+        },
+    )
+}
+
+/// Chain-mode split-brain equivocator: votes the real block hash toward
+/// even-numbered peers and a flipped hash toward odd-numbered peers, for
+/// every proposal or vote it hears about, in the same `(slot, view)`
+/// register.
+pub fn ms_equivocator(flip: u64) -> impl Behavior<MsMessage> {
+    let flip = nonzero(flip);
+    FnBehavior::new(
+        move |input: &Input<MsMessage>, env: &BehaviorEnv, out: &mut Vec<(Dest, MsMessage)>| {
+            if let Input::Deliver { msg, .. } = input {
+                let (slot, view, hash) = match msg {
+                    MsMessage::Proposal { view, block } => (block.slot, *view, block.hash()),
+                    MsMessage::Vote { slot, view, hash } => (*slot, *view, *hash),
+                    _ => return,
+                };
+                for peer in 0..env.n as u16 {
+                    if peer == env.me.0 {
+                        continue;
+                    }
+                    let side = if peer % 2 == 0 { hash } else { BlockHash(hash.0 ^ flip) };
+                    out.push((
+                        Dest::Node(tetrabft_types::NodeId(peer)),
+                        MsMessage::Vote { slot, view, hash: side },
+                    ));
+                }
+            }
+        },
+    )
+}
+
+/// Chain-mode view skew: replays delivered votes `view_offset` views ahead.
+pub fn ms_skewed_replayer(view_offset: u64) -> impl Behavior<MsMessage> {
+    FnBehavior::new(
+        move |input: &Input<MsMessage>, _env: &BehaviorEnv, out: &mut Vec<(Dest, MsMessage)>| {
+            if let Input::Deliver { msg: MsMessage::Vote { slot, view, hash }, .. } = input {
+                out.push((
+                    Dest::All,
+                    MsMessage::Vote {
+                        slot: *slot,
+                        view: View(view.0.saturating_add(view_offset)),
+                        hash: *hash,
+                    },
+                ));
+            }
+        },
+    )
+}
+
+/// Chain-mode spam: forged votes for rotating low slots with bogus hashes.
+pub fn ms_value_spammer() -> impl Behavior<MsMessage> {
+    let mut k: u64 = 0;
+    FnBehavior::new(
+        move |input: &Input<MsMessage>, _env: &BehaviorEnv, out: &mut Vec<(Dest, MsMessage)>| {
+            if matches!(input, Input::Timer { .. }) {
+                k += 1;
+                out.push((
+                    Dest::All,
+                    MsMessage::Vote {
+                        slot: Slot(1 + k % 4),
+                        view: View(k % 3),
+                        hash: BlockHash(0xbad_c0de + k % 3),
+                    },
+                ));
+            }
+        },
+    )
+}

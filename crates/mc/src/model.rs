@@ -103,6 +103,36 @@ impl State {
         State { votes: vec![VoteTable::default(); cfg.honest()], round: vec![-1; cfg.honest()] }
     }
 
+    /// A forged state built from concrete honest-node votes — the audit
+    /// entry the adversary fuzzer uses to replay a sim finding inside the
+    /// model checker (`Explorer::with_initial`). Each tuple is
+    /// `(honest node index, round, phase 1..=4, value index)`; votes
+    /// outside the model's bounds (`node ≥ cfg.honest()`,
+    /// `round ≥ cfg.rounds`, `value ≥ cfg.values`, phase outside 1..=4)
+    /// are skipped rather than panicking, since fuzzed runs reach views
+    /// and values the bounded model does not carry. Within one table, the
+    /// *first* vote per `(round, phase)` wins, preserving the structural
+    /// one-vote-per-register invariant. Each node's round pointer is its
+    /// highest voted round (`-1` with no votes).
+    pub fn from_votes(cfg: &ModelCfg, votes: &[(usize, u8, u8, u8)]) -> State {
+        let mut state = State::initial(cfg);
+        for &(node, round, phase, value) in votes {
+            if node >= cfg.honest()
+                || round >= cfg.rounds
+                || usize::from(round) >= MAX_ROUNDS
+                || !(1..=4).contains(&phase)
+                || value >= cfg.values
+            {
+                continue;
+            }
+            if state.votes[node].get(round, phase).is_none() {
+                state.votes[node].set(round, phase, value);
+                state.round[node] = state.round[node].max(round as i8);
+            }
+        }
+        state
+    }
+
     /// Canonical representative under honest-node symmetry: in safety mode
     /// the model has no leader, so honest nodes are interchangeable and
     /// states differing only by a permutation of them are equivalent.
@@ -323,6 +353,25 @@ mod tests {
         // Vote1 needs round[p] == r which is -1 initially: no votes at all.
         assert!(actions.iter().all(|a| matches!(a, ModelAction::StartRound { .. })));
         assert!(!actions.is_empty());
+    }
+
+    #[test]
+    fn from_votes_builds_a_bounded_forged_state() {
+        let c = cfg(); // 4 nodes, 1 byzantine → 3 honest; 2 values; 3 rounds
+        let votes = [
+            (0, 0, 1, 1), // kept
+            (0, 0, 1, 0), // same register: first wins
+            (1, 2, 4, 1), // kept, bumps node 1's round to 2
+            (7, 0, 1, 1), // node out of range: skipped
+            (2, 5, 1, 1), // round ≥ cfg.rounds: skipped
+            (2, 0, 5, 1), // phase out of range: skipped
+            (2, 0, 1, 9), // value ≥ cfg.values: skipped
+        ];
+        let s = State::from_votes(&c, &votes);
+        assert_eq!(s.votes[0].get(0, 1), Some(1));
+        assert_eq!(s.votes[1].get(2, 4), Some(1));
+        assert!(s.votes[2].iter().next().is_none(), "all node-2 votes were out of bounds");
+        assert_eq!(s.round, vec![0, 2, -1]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use tetrabft::{ProofData, SuggestData};
 use tetrabft_sim::WireSize;
-use tetrabft_types::{Slot, View};
+use tetrabft_types::{AuditClaim, Phase, Slot, Value, View};
 use tetrabft_wire::{Reader, Wire, WireError, Writer};
 
 use crate::block::{Block, BlockHash};
@@ -198,6 +198,27 @@ impl WireSize for MsMessage {
     }
     fn wire_kind(&self) -> &'static str {
         self.kind()
+    }
+    /// Proposals and votes claim the write-once `(slot, view)` register, with
+    /// the block hash standing in as the claimed value (hashes are the
+    /// identity the chain agrees on). Recovery and catch-up traffic carries
+    /// history, not claims.
+    fn audit_claim(&self) -> Option<AuditClaim> {
+        match self {
+            MsMessage::Proposal { view, block } => Some(AuditClaim {
+                slot: Some(block.slot),
+                view: *view,
+                phase: None,
+                value: Value::from_u64(block.hash().0),
+            }),
+            MsMessage::Vote { slot, view, hash } => Some(AuditClaim {
+                slot: Some(*slot),
+                view: *view,
+                phase: Some(Phase::VOTE1),
+                value: Value::from_u64(hash.0),
+            }),
+            _ => None,
+        }
     }
 }
 

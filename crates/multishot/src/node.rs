@@ -226,6 +226,22 @@ impl MultiShotNode {
         self.instances.len()
     }
 
+    /// Equivocation evidence aggregated across live slot instances, each
+    /// record pinned to the slot whose registers detected it. Retired
+    /// instances drop their evidence with their registers; the simulator's
+    /// omniscient recorder keeps the full-run view.
+    pub fn evidence(&self) -> Vec<tetrabft_types::Evidence> {
+        self.instances
+            .iter()
+            .flat_map(|(slot, inst)| {
+                inst.regs
+                    .evidence()
+                    .iter()
+                    .map(|ev| tetrabft_types::Evidence { slot: Some(*slot), ..*ev })
+            })
+            .collect()
+    }
+
     /// Leader of `slot` at `view`: round-robin over `slot + view` so that
     /// consecutive slots pipeline under distinct leaders (Fig. 2) and a view
     /// change rotates a slot to a fresh leader.

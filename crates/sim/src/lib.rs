@@ -73,7 +73,10 @@ mod queue;
 mod runner;
 mod trace;
 
-pub use actors::{FnNode, SilentNode};
+pub use actors::{
+    Behavior, BehaviorEnv, ByzantineActor, FilteredNode, FnBehavior, FnNode, SilentNode, BYZ_TICK,
+    DEFAULT_BYZ_BUDGET,
+};
 pub use metrics::{KindMetrics, Metrics, NodeMetrics};
 pub use plan::{EdgeSpec, LinkPlan, PartitionWindow, PlanParseError};
 pub use policy::{LinkPolicy, Route, RouteEnv};

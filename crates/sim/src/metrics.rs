@@ -2,7 +2,16 @@
 
 use std::collections::BTreeMap;
 
-use tetrabft_types::NodeId;
+use tetrabft_types::{AuditClaim, Evidence, NodeId, Value};
+
+/// Most equivocation-evidence records the recorder retains (dedup is per
+/// register, so this only bounds memory against many-register attacks).
+const EVIDENCE_CAP: usize = 64;
+
+/// Most first-claim registers tracked. Spraying distinct `(view, phase)`
+/// registers past this stops *tracking* new ones (existing convictions
+/// stand); honest traffic never gets near it.
+const CLAIMS_CAP: usize = 1 << 16;
 
 /// Per-node communication counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +43,16 @@ pub struct Metrics {
     pub msgs_dropped: u64,
     /// Total input events processed by all nodes.
     pub events_processed: u64,
+    /// First value each `(node, slot, view, phase)` register claimed on the
+    /// wire — the omniscient accountability ledger. Keyed on raw integers so
+    /// iteration (and therefore every run) is deterministic.
+    claims: BTreeMap<(u16, Option<u64>, u64, Option<u8>), Value>,
+    /// Evidence for senders that claimed one register twice with different
+    /// values, in detection order, deduped per register.
+    evidence: Vec<Evidence>,
+    /// Total conflicting claims observed (counts repeats the evidence log
+    /// deduplicates away).
+    equivocations: u64,
 }
 
 /// Per-message-kind communication counters.
@@ -52,7 +71,59 @@ impl Metrics {
             by_kind: BTreeMap::new(),
             msgs_dropped: 0,
             events_processed: 0,
+            claims: BTreeMap::new(),
+            evidence: Vec::new(),
+            equivocations: 0,
         }
+    }
+
+    /// Audits one wire claim from `from`: remembers the first value per
+    /// register, convicts on a conflicting re-claim. The transport calls
+    /// this for every non-loopback send whose message has an
+    /// [`audit_claim`](tetrabft_engine::WireSize::audit_claim).
+    pub(crate) fn on_claim(&mut self, from: NodeId, claim: AuditClaim) {
+        let key = (from.0, claim.slot.map(|s| s.0), claim.view.0, claim.phase.map(|p| p.as_u8()));
+        match self.claims.get(&key) {
+            None => {
+                if self.claims.len() < CLAIMS_CAP {
+                    self.claims.insert(key, claim.value);
+                }
+            }
+            Some(first) if *first != claim.value => {
+                self.equivocations += 1;
+                let ev = Evidence {
+                    node: from,
+                    slot: claim.slot,
+                    view: claim.view,
+                    phase: claim.phase,
+                    first: *first,
+                    second: claim.value,
+                };
+                let dup = self.evidence.iter().any(|e| {
+                    e.node == ev.node
+                        && e.slot == ev.slot
+                        && e.view == ev.view
+                        && e.phase == ev.phase
+                });
+                if !dup && self.evidence.len() < EVIDENCE_CAP {
+                    self.evidence.push(ev);
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Equivocation evidence the omniscient recorder collected, in detection
+    /// order: each record names a sender that claimed one write-once
+    /// register with two different values.
+    pub fn evidence(&self) -> &[Evidence] {
+        &self.evidence
+    }
+
+    /// Total conflicting wire claims observed (repeat offences included;
+    /// [`Metrics::evidence`] dedups per register).
+    pub fn equivocations(&self) -> u64 {
+        self.equivocations
     }
 
     pub(crate) fn on_send(&mut self, from: NodeId, kind: &'static str, bytes: usize) {
@@ -124,5 +195,29 @@ mod tests {
         assert_eq!(m.kind("proof"), KindMetrics::default());
         let kinds: Vec<_> = m.by_kind().map(|(k, v)| (k, v.bytes)).collect();
         assert_eq!(kinds, vec![("suggest", 100), ("vote-1", 15)]);
+    }
+
+    #[test]
+    fn claim_audit_convicts_conflicting_senders() {
+        use tetrabft_types::{Phase, View};
+        let claim = |view: u64, value: u64| AuditClaim {
+            slot: None,
+            view: View(view),
+            phase: Some(Phase::VOTE1),
+            value: Value::from_u64(value),
+        };
+        let mut m = Metrics::new(3);
+        m.on_claim(NodeId(0), claim(1, 5));
+        m.on_claim(NodeId(0), claim(1, 5)); // duplicate, honest
+        m.on_claim(NodeId(1), claim(1, 6)); // different node, same register
+        assert!(m.evidence().is_empty());
+        assert_eq!(m.equivocations(), 0);
+        m.on_claim(NodeId(0), claim(1, 7)); // conflict
+        m.on_claim(NodeId(0), claim(1, 8)); // repeat offence, same register
+        assert_eq!(m.equivocations(), 2);
+        assert_eq!(m.evidence().len(), 1, "deduped per register");
+        let ev = m.evidence()[0];
+        assert_eq!(ev.node, NodeId(0));
+        assert_eq!((ev.first, ev.second), (Value::from_u64(5), Value::from_u64(7)));
     }
 }

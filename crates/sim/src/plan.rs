@@ -99,11 +99,34 @@ impl std::fmt::Display for PlanParseError {
 
 impl std::error::Error for PlanParseError {}
 
+impl std::fmt::Display for EdgeSpec {
+    /// Canonical form, re-parsable by [`EdgeSpec::from_str`]: zero fields
+    /// are omitted, loss is printed as exact `drop_ppm` (the fractional
+    /// `drop` key would lose precision), and [`EdgeSpec::IDEAL`] is the
+    /// empty string.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sep = "";
+        if self.delay_ms > 0 {
+            write!(f, "delay={}", self.delay_ms)?;
+            sep = ",";
+        }
+        if self.jitter_ms > 0 {
+            write!(f, "{sep}jitter={}", self.jitter_ms)?;
+            sep = ",";
+        }
+        if self.drop_ppm > 0 {
+            write!(f, "{sep}drop_ppm={}", self.drop_ppm)?;
+        }
+        Ok(())
+    }
+}
+
 impl FromStr for EdgeSpec {
     type Err = PlanParseError;
 
     /// Parses `"delay=30,jitter=5,drop=0.01"` (any subset of keys; `drop`
-    /// is a fraction in `0..=1`).
+    /// is a fraction in `0..=1`, `drop_ppm` an exact parts-per-million
+    /// integer).
     fn from_str(s: &str) -> Result<Self, PlanParseError> {
         let mut spec = EdgeSpec::IDEAL;
         for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -134,6 +157,18 @@ impl FromStr for EdgeSpec {
                         )));
                     }
                     spec = spec.with_drop(frac);
+                }
+                "drop_ppm" => {
+                    let ppm: u32 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| PlanParseError::new(format!("bad drop_ppm `{value}`")))?;
+                    if ppm > 1_000_000 {
+                        return Err(PlanParseError::new(format!(
+                            "drop_ppm `{value}` above 1000000"
+                        )));
+                    }
+                    spec.drop_ppm = ppm;
                 }
                 other => {
                     return Err(PlanParseError::new(format!("unknown key `{other}`")));
@@ -199,6 +234,21 @@ impl PartitionWindow {
     }
 }
 
+impl std::fmt::Display for PartitionWindow {
+    /// Canonical `start..end:ids` form, re-parsable by
+    /// [`PartitionWindow::from_str`] (the group is kept sorted, so the
+    /// rendering is unique).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}:", self.start_ms, self.end_ms)?;
+        let mut sep = "";
+        for id in &self.group {
+            write!(f, "{sep}{id}")?;
+            sep = ",";
+        }
+        Ok(())
+    }
+}
+
 impl FromStr for PartitionWindow {
     type Err = PlanParseError;
 
@@ -250,7 +300,7 @@ impl FromStr for PartitionWindow {
 /// assert_eq!(plan.edge_spec(NodeId(0), NodeId(3)).delay_ms, 80);
 /// assert_eq!(plan.edge_spec(NodeId(1), NodeId(2)).delay_ms, 30);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkPlan {
     default: EdgeSpec,
     edges: HashMap<(u16, u16), EdgeSpec>,
@@ -333,6 +383,16 @@ impl LinkPlan {
         &self.partitions
     }
 
+    /// The same plan with partition window `idx` removed (unchanged when
+    /// out of range) — the fuzzer's shrinker peels windows off one by one.
+    pub fn without_partition(&self, idx: usize) -> LinkPlan {
+        let mut plan = self.clone();
+        if idx < plan.partitions.len() {
+            plan.partitions.remove(idx);
+        }
+        plan
+    }
+
     /// Worst-case one-way delay over all edges of an `n`-node cluster.
     pub fn max_delay_ms(&self, n: usize) -> u64 {
         let mut max = self.default.max_delay_ms();
@@ -342,6 +402,66 @@ impl LinkPlan {
             }
         }
         max
+    }
+
+    /// Whether no edge of the plan ever drops a message. Liveness oracles
+    /// are only armed on lossless plans: with loss the partial-synchrony
+    /// model gives no delivery bound to hold the protocol to.
+    pub fn is_lossless(&self) -> bool {
+        self.default.drop_ppm == 0 && self.edges.values().all(|e| e.drop_ppm == 0)
+    }
+
+    /// Samples a random plan for an `n`-node cluster — the adversary
+    /// fuzzer's network dimension. A pure function of the `rng` stream:
+    ///
+    /// * a base edge spec with 1–30 ms delay, up to 10 ms jitter, and (25%
+    ///   of the time) up to 5% loss — delays are always ≥ 1 ms so virtual
+    ///   time advances between distinct nodes even under message storms;
+    /// * sparse directed overrides (≈15% of edges) with heavier delays;
+    /// * up to `max_partitions` random [`PartitionWindow`]s, each fully
+    ///   inside `horizon_ms` and isolating a random proper subset.
+    pub fn sample(rng: &mut StdRng, n: usize, horizon_ms: u64, max_partitions: usize) -> LinkPlan {
+        let mut base =
+            EdgeSpec::delay(rng.random_range(1..=30)).with_jitter(rng.random_range(0..=10));
+        if rng.random_range(0..100u32) < 25 {
+            base.drop_ppm = rng.random_range(0..=50_000);
+        }
+        let mut plan = LinkPlan::uniform(base);
+        for from in 0..n as u16 {
+            for to in 0..n as u16 {
+                if from != to && rng.random_range(0..100u32) < 15 {
+                    let mut spec = EdgeSpec::delay(rng.random_range(1..=80))
+                        .with_jitter(rng.random_range(0..=20));
+                    if base.drop_ppm > 0 && rng.random_range(0..100u32) < 50 {
+                        spec.drop_ppm = rng.random_range(0..=100_000);
+                    }
+                    plan = plan.edge(NodeId(from), NodeId(to), spec);
+                }
+            }
+        }
+        if n >= 2 && horizon_ms >= 8 {
+            for _ in 0..max_partitions {
+                if rng.random_range(0..100u32) < 40 {
+                    continue;
+                }
+                let start = rng.random_range(0..horizon_ms / 2);
+                let len = rng.random_range(1..=(horizon_ms / 4).max(1));
+                // A random proper subset, drawn without replacement.
+                let mut ids: Vec<u16> = (0..n as u16).collect();
+                let group_size = rng.random_range(1..n);
+                for i in 0..group_size {
+                    let j = rng.random_range(i..ids.len());
+                    ids.swap(i, j);
+                }
+                ids.truncate(group_size);
+                plan = plan.partition(PartitionWindow::isolate(
+                    start,
+                    start + len,
+                    ids.into_iter().map(NodeId),
+                ));
+            }
+        }
+        plan
     }
 
     /// When a message sent on `from → to` at `at_ms` is released from any
@@ -382,6 +502,74 @@ impl LinkPlan {
                 None => Route::Drop,
             }
         })
+    }
+}
+
+impl std::fmt::Display for LinkPlan {
+    /// Canonical scenario grammar, re-parsable by [`LinkPlan::from_str`]:
+    /// `default(<spec>); edge(<from>-><to>,<spec>); part(<window>)` —
+    /// edges sorted by `(from, to)` so the rendering is unique, ideal edge
+    /// overrides printed without the spec.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "default({})", self.default)?;
+        let mut edges: Vec<(&(u16, u16), &EdgeSpec)> = self.edges.iter().collect();
+        edges.sort_by_key(|(key, _)| **key);
+        for ((from, to), spec) in edges {
+            if *spec == EdgeSpec::IDEAL {
+                write!(f, "; edge({from}->{to})")?;
+            } else {
+                write!(f, "; edge({from}->{to},{spec})")?;
+            }
+        }
+        for w in &self.partitions {
+            write!(f, "; part({w})")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for LinkPlan {
+    type Err = PlanParseError;
+
+    /// Parses the grammar printed by [`LinkPlan`]'s `Display`:
+    /// `;`-separated `default(<spec>)`, `edge(<from>-><to>[,<spec>])`, and
+    /// `part(<start>..<end>:<ids>)` segments, in any order.
+    fn from_str(s: &str) -> Result<Self, PlanParseError> {
+        let mut plan = LinkPlan::ideal();
+        for seg in s.split(';').map(str::trim).filter(|t| !t.is_empty()) {
+            let (name, rest) = seg
+                .split_once('(')
+                .ok_or_else(|| PlanParseError::new(format!("expected name(...), got `{seg}`")))?;
+            let body = rest
+                .strip_suffix(')')
+                .ok_or_else(|| PlanParseError::new(format!("missing `)` in `{seg}`")))?;
+            match name.trim() {
+                "default" => plan.default = body.parse()?,
+                "edge" => {
+                    let (edge, spec) = match body.split_once(',') {
+                        Some((edge, spec)) => (edge, spec),
+                        None => (body, ""),
+                    };
+                    let (from, to) = edge.split_once("->").ok_or_else(|| {
+                        PlanParseError::new(format!("expected from->to, got `{edge}`"))
+                    })?;
+                    let from: u16 = from
+                        .trim()
+                        .parse()
+                        .map_err(|_| PlanParseError::new(format!("bad node id `{from}`")))?;
+                    let to: u16 = to
+                        .trim()
+                        .parse()
+                        .map_err(|_| PlanParseError::new(format!("bad node id `{to}`")))?;
+                    plan.edges.insert((from, to), spec.parse()?);
+                }
+                "part" => plan.partitions.push(body.parse()?),
+                other => {
+                    return Err(PlanParseError::new(format!("unknown plan segment `{other}`")));
+                }
+            }
+        }
+        Ok(plan)
     }
 }
 
@@ -492,6 +680,62 @@ mod tests {
         assert!("500..400:0".parse::<PartitionWindow>().is_err());
         assert!("0..9:".parse::<PartitionWindow>().is_err());
         assert!("0..9".parse::<PartitionWindow>().is_err());
+    }
+
+    #[test]
+    fn plan_display_round_trips() {
+        let plan = LinkPlan::uniform(EdgeSpec::delay(30).with_jitter(3))
+            .edge(NodeId(2), NodeId(1), EdgeSpec::delay(80))
+            .edge(NodeId(0), NodeId(3), EdgeSpec::IDEAL)
+            .partition(PartitionWindow::isolate(100, 500, [NodeId(0), NodeId(3)]))
+            .partition(PartitionWindow::isolate(700, 900, [NodeId(1)]));
+        let text = plan.to_string();
+        assert_eq!(
+            text,
+            "default(delay=30,jitter=3); edge(0->3); edge(2->1,delay=80); \
+             part(100..500:0,3); part(700..900:1)"
+        );
+        let parsed: LinkPlan = text.parse().unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.to_string(), text, "canonical form is a fixpoint");
+        // drop_ppm survives exactly (the fractional `drop` key would not).
+        let lossy = LinkPlan::uniform(EdgeSpec { delay_ms: 2, jitter_ms: 0, drop_ppm: 123_457 });
+        assert_eq!(lossy.to_string().parse::<LinkPlan>().unwrap(), lossy);
+        assert!(!lossy.is_lossless());
+        assert!(plan.is_lossless());
+    }
+
+    #[test]
+    fn plan_parse_rejects_malformed_segments() {
+        assert!("bogus(1)".parse::<LinkPlan>().is_err());
+        assert!("default(delay=3".parse::<LinkPlan>().is_err(), "missing paren");
+        assert!("edge(0-1,delay=3)".parse::<LinkPlan>().is_err(), "bad arrow");
+        assert!("edge(0->x)".parse::<LinkPlan>().is_err(), "bad id");
+        assert!("part(9..5:0)".parse::<LinkPlan>().is_err(), "reversed window");
+        assert!("default(drop_ppm=2000000)".parse::<LinkPlan>().is_err(), "ppm above 1e6");
+        assert_eq!("".parse::<LinkPlan>().unwrap(), LinkPlan::ideal());
+    }
+
+    #[test]
+    fn sampled_plans_are_deterministic_and_bounded() {
+        let sample = |seed| LinkPlan::sample(&mut StdRng::seed_from_u64(seed), 5, 2_000, 3);
+        let a = sample(42);
+        assert_eq!(a, sample(42), "pure function of the seed");
+        assert_ne!(a.to_string(), sample(43).to_string(), "different seeds differ");
+        for seed in 0..50 {
+            let plan = sample(seed);
+            assert!(plan.to_string().parse::<LinkPlan>().unwrap() == plan, "round trips");
+            for w in plan.partitions() {
+                assert!(w.start_ms < w.end_ms && w.end_ms <= 2_000, "window inside horizon");
+            }
+            for from in 0..5u16 {
+                for to in 0..5u16 {
+                    if from != to {
+                        assert!(plan.edge_spec(NodeId(from), NodeId(to)).delay_ms >= 1);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -173,6 +173,9 @@ impl<M: WireSize + Clone, O> SimTransport<'_, M, O> {
         }
         let size = msg.wire_size();
         self.metrics.on_send(from, msg.wire_kind(), size);
+        if let Some(claim) = msg.audit_claim() {
+            self.metrics.on_claim(from, claim);
+        }
         if let Some(trace) = self.trace.as_deref_mut() {
             trace.push(TraceEvent::Sent { at: self.now, from, to, msg: msg.clone() });
         }

@@ -1,0 +1,153 @@
+//! Accountability: typed claims and equivocation evidence.
+//!
+//! TetraBFT's registers are write-once per `(view, phase)`: an honest node
+//! proposes at most one value per view and casts at most one `vote-i` per
+//! view. A message therefore *claims* a register slot, and two claims for
+//! the same slot with different values are cryptographically-free proof of
+//! misbehaviour (channels are authenticated, so the sender attribution is
+//! trusted). [`AuditClaim`] is the slot a message claims; [`Evidence`] is a
+//! pair of conflicting claims pinned to the node that made them — the
+//! auditable record pod-style accountability calls for: not "violations: 1"
+//! but "node 3 voted both v and v′ in view 7".
+
+use std::fmt;
+
+use crate::{NodeId, Phase, Slot, Value, View};
+
+/// The write-once register a message claims, extracted by
+/// `WireSize::audit_claim`.
+///
+/// Two claims from the same sender for the same `(slot, view, phase)` with
+/// different values constitute [`Evidence`] of equivocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AuditClaim {
+    /// Chain slot the claim is scoped to; `None` for single-shot consensus.
+    pub slot: Option<Slot>,
+    /// View the register belongs to.
+    pub view: View,
+    /// Vote phase, or `None` for a leader proposal.
+    pub phase: Option<Phase>,
+    /// The value claimed (for chain messages, the block hash as a value).
+    pub value: Value,
+}
+
+/// An auditable equivocation record: `node` claimed both `first` and
+/// `second` for the same write-once register.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_types::{Evidence, NodeId, Phase, Value, View};
+///
+/// let ev = Evidence {
+///     node: NodeId(3),
+///     slot: None,
+///     view: View(7),
+///     phase: Some(Phase::VOTE1),
+///     first: Value::from_u64(1),
+///     second: Value::from_u64(2),
+/// };
+/// assert_eq!(
+///     ev.to_string(),
+///     "node 3 voted both val:0000000000000001 and val:0000000000000002 in view 7 (vote-1)"
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Evidence {
+    /// The misbehaving node.
+    pub node: NodeId,
+    /// Chain slot, when the equivocation is in multi-shot traffic.
+    pub slot: Option<Slot>,
+    /// View of the conflicting claims.
+    pub view: View,
+    /// Vote phase, or `None` when the node equivocated as a proposer.
+    pub phase: Option<Phase>,
+    /// The first value the node claimed.
+    pub first: Value,
+    /// The conflicting value it claimed later.
+    pub second: Value,
+}
+
+impl Evidence {
+    /// Builds evidence from two conflicting claims by `node`.
+    ///
+    /// Returns `None` unless the claims name the same register with
+    /// different values.
+    pub fn from_claims(node: NodeId, a: AuditClaim, b: AuditClaim) -> Option<Evidence> {
+        if a.slot == b.slot && a.view == b.view && a.phase == b.phase && a.value != b.value {
+            Some(Evidence {
+                node,
+                slot: a.slot,
+                view: a.view,
+                phase: a.phase,
+                first: a.value,
+                second: b.value,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Evidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verb = if self.phase.is_some() { "voted" } else { "proposed" };
+        write!(
+            f,
+            "node {} {verb} both {} and {} in view {}",
+            self.node.0, self.first, self.second, self.view.0
+        )?;
+        if let Some(phase) = self.phase {
+            write!(f, " ({phase})")?;
+        }
+        if let Some(slot) = self.slot {
+            write!(f, " at slot {}", slot.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claim(view: u64, phase: Option<Phase>, value: u64) -> AuditClaim {
+        AuditClaim { slot: None, view: View(view), phase, value: Value::from_u64(value) }
+    }
+
+    #[test]
+    fn conflicting_claims_yield_evidence() {
+        let a = claim(7, Some(Phase::VOTE2), 1);
+        let b = claim(7, Some(Phase::VOTE2), 2);
+        let ev = Evidence::from_claims(NodeId(3), a, b).expect("conflict");
+        assert_eq!(ev.view, View(7));
+        assert_eq!(ev.first, Value::from_u64(1));
+        assert_eq!(ev.second, Value::from_u64(2));
+    }
+
+    #[test]
+    fn same_value_or_different_register_is_not_evidence() {
+        let a = claim(7, Some(Phase::VOTE2), 1);
+        assert!(Evidence::from_claims(NodeId(0), a, a).is_none());
+        assert!(Evidence::from_claims(NodeId(0), a, claim(8, Some(Phase::VOTE2), 2)).is_none());
+        assert!(Evidence::from_claims(NodeId(0), a, claim(7, Some(Phase::VOTE3), 2)).is_none());
+        let slotted = AuditClaim { slot: Some(Slot(4)), ..claim(7, Some(Phase::VOTE2), 2) };
+        assert!(Evidence::from_claims(NodeId(0), a, slotted).is_none());
+    }
+
+    #[test]
+    fn display_names_node_views_and_values() {
+        let ev = Evidence {
+            node: NodeId(3),
+            slot: Some(Slot(4)),
+            view: View(7),
+            phase: None,
+            first: Value::from_u64(1),
+            second: Value::from_u64(2),
+        };
+        let text = ev.to_string();
+        assert!(text.contains("node 3 proposed both"), "{text}");
+        assert!(text.contains("in view 7"), "{text}");
+        assert!(text.contains("at slot 4"), "{text}");
+    }
+}

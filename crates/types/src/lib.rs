@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod evidence;
 mod fsync;
 mod ids;
 mod inline_vec;
@@ -37,6 +38,7 @@ mod value;
 mod votebook;
 
 pub use config::{Config, ConfigError};
+pub use evidence::{AuditClaim, Evidence};
 pub use fsync::FsyncPolicy;
 pub use ids::{NodeId, Slot, View};
 pub use inline_vec::InlineVec;

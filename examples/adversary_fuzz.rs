@@ -1,0 +1,98 @@
+//! Drive the seeded adversary fuzzer from the environment: pick the seed
+//! range, cluster sizes, fault budget, and shrink budget, and get a
+//! deterministic campaign report — evidence records, shrunken scripted
+//! scenarios for every violation, and model-checker counterexample traces
+//! for safety hits.
+//!
+//! ```sh
+//! # Defaults: 64 seeds, n in 4..=6, at most f faulty nodes, 25% chain
+//! # mode. Expected result: zero violations.
+//! cargo run --release --example adversary_fuzz
+//!
+//! # Push past the fault budget and watch safety break, shrink, and get
+//! # cross-audited by the bounded model checker:
+//! TETRABFT_FUZZ_OVER_BUDGET=1 TETRABFT_FUZZ_MAX_FAULTY=2 \
+//! cargo run --release --example adversary_fuzz
+//!
+//! # A bigger nightly-style sweep:
+//! TETRABFT_FUZZ_SEEDS=1024 TETRABFT_FUZZ_SEED0=42 \
+//! cargo run --release --example adversary_fuzz
+//! ```
+
+use std::time::Instant;
+
+use tetrabft_fuzz::{run_campaign, CampaignCfg, Verdict};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let seeds = env_u64("TETRABFT_FUZZ_SEEDS", 64);
+    let seed0 = env_u64("TETRABFT_FUZZ_SEED0", 0);
+    let cfg = CampaignCfg {
+        seeds: (seed0..seed0 + seeds).collect(),
+        n_min: env_u64("TETRABFT_FUZZ_N_MIN", 4) as usize,
+        n_max: env_u64("TETRABFT_FUZZ_N_MAX", 6) as usize,
+        max_faulty: env_u64("TETRABFT_FUZZ_MAX_FAULTY", 1) as usize,
+        over_budget: std::env::var_os("TETRABFT_FUZZ_OVER_BUDGET").is_some(),
+        chain_percent: env_u64("TETRABFT_FUZZ_CHAIN_PERCENT", 25) as u32,
+        max_partitions: env_u64("TETRABFT_FUZZ_MAX_PARTITIONS", 2) as usize,
+        shrink_budget: env_u64("TETRABFT_FUZZ_SHRINK_BUDGET", 48) as usize,
+    };
+
+    println!(
+        "fuzz campaign: {} seeds from {seed0}, n in {}..={}, max_faulty {} \
+         (over-budget {}), {}% chain mode",
+        cfg.seeds.len(),
+        cfg.n_min,
+        cfg.n_max,
+        cfg.max_faulty,
+        if cfg.over_budget { "allowed" } else { "off" },
+        cfg.chain_percent,
+    );
+
+    let start = Instant::now();
+    let report = run_campaign(&cfg);
+    let elapsed = start.elapsed();
+
+    print!("{}", report.summary());
+
+    // Shrunken violations become ready-to-commit regression tests.
+    for outcome in &report.outcomes {
+        let Some(shrunk) = &outcome.shrunk else { continue };
+        let name = format!("fuzz_seed_{:x}_{}", outcome.seed, outcome.report.verdict.class());
+        println!("\n--- scripted scenario for seed {:#x} ---", outcome.seed);
+        println!("{}", shrunk.to_rust_source(&name, &outcome.report.verdict));
+    }
+    for outcome in &report.outcomes {
+        let Some(trace) = &outcome.mc_trace else { continue };
+        println!("\n--- mc counterexample for seed {:#x} ---", outcome.seed);
+        println!("{trace}");
+    }
+
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "\n{} seeds in {:.2}s ({:.1} seeds/sec), {} violations, {} evidence records",
+        report.outcomes.len(),
+        secs,
+        report.outcomes.len() as f64 / secs.max(1e-9),
+        report.violations(),
+        report.evidence_total(),
+    );
+
+    if report.violations() > 0 && !cfg.over_budget {
+        // Within the fault budget every violation is a real finding; make
+        // the process fail so CI catches it.
+        let first = report
+            .outcomes
+            .iter()
+            .find(|o| o.report.verdict.is_violation())
+            .expect("violations() > 0");
+        match &first.report.verdict {
+            Verdict::Ok => unreachable!(),
+            v => eprintln!("first violation: seed {:#x}: {v}", first.seed),
+        }
+        std::process::exit(1);
+    }
+}

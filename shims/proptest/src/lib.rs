@@ -58,6 +58,19 @@ impl TestRng {
             self.next_u64() % n
         }
     }
+
+    /// Raw generator state. Captured by `proptest!` before each case so a
+    /// failing case's exact inputs can be persisted and replayed; pair with
+    /// [`TestRng::from_state`].
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a state previously captured with
+    /// [`TestRng::state`]; sampling continues bit-for-bit from there.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
 }
 
 /// Derives the per-test seed from the test's fully qualified name, so every
@@ -87,12 +100,24 @@ pub mod test_runner {
     pub struct Config {
         /// Successful (non-rejected) cases required.
         pub cases: u32,
+        /// Persist the rng state of failing cases to a
+        /// `proptest-regressions/` file in the consumer crate and replay
+        /// persisted states before fresh sampling on the next run.
+        pub persist: bool,
     }
 
     impl Config {
-        /// A config running `cases` cases.
+        /// A config running `cases` cases (persistence on, as in real
+        /// proptest).
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases }
+            Config { cases, persist: true }
+        }
+
+        /// Disables failure persistence — for properties that fail by
+        /// design (e.g. harness self-tests) and must not write files.
+        pub fn no_persist(mut self) -> Self {
+            self.persist = false;
+            self
         }
     }
 
@@ -100,8 +125,104 @@ pub mod test_runner {
         fn default() -> Self {
             // Real proptest defaults to 256; the heavy simulator-driven
             // properties make a smaller default the right trade here.
-            Config { cases: 48 }
+            Config { cases: 48, persist: true }
         }
+    }
+}
+
+/// Failure-seed persistence, mirroring real proptest's
+/// `proptest-regressions/` files in a simplified single-file format.
+///
+/// Each line is `cc <module_path::test_name> <rng state>`; `#` lines are
+/// comments. `proptest!` captures the [`TestRng`] state immediately before
+/// each sample, appends it here when the case fails, and replays every
+/// persisted state for the test *before* fresh sampling on the next run —
+/// so a once-seen failure stays fatal until fixed. Commit the file to lock
+/// regressions in.
+pub mod regressions {
+    use std::fs;
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
+
+    /// Directory created inside the consumer crate's manifest dir.
+    pub const DIR_NAME: &str = "proptest-regressions";
+    /// File inside [`DIR_NAME`] holding one failing seed per line.
+    pub const FILE_NAME: &str = "regressions.txt";
+
+    fn file_path(dir: &Path) -> PathBuf {
+        dir.join(FILE_NAME)
+    }
+
+    /// Parses persisted rng states for `test_name` from an explicit
+    /// directory (the unit-testable core of [`load`]).
+    pub fn load_from(dir: &Path, test_name: &str) -> Vec<u64> {
+        let Ok(text) = fs::read_to_string(file_path(dir)) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("cc") {
+                continue;
+            }
+            let (Some(name), Some(state)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            if name != test_name {
+                continue;
+            }
+            let digits = state.trim_start_matches("0x");
+            if let Ok(v) = u64::from_str_radix(digits, 16) {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Appends `state` for `test_name` under an explicit directory unless
+    /// an identical entry already exists. I/O errors are swallowed:
+    /// persistence must never turn a red test into a different red test.
+    pub fn save_to(dir: &Path, test_name: &str, state: u64) {
+        if load_from(dir, test_name).contains(&state) {
+            return;
+        }
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = file_path(dir);
+        let mut entry = String::new();
+        if !path.exists() {
+            entry.push_str(
+                "# Seeds of failing proptest cases (offline-shim format).\n\
+                 # Each line: cc <module_path::test_name> <rng state>\n\
+                 # Replayed before fresh sampling on the next run; commit this file\n\
+                 # to lock the regression in.\n",
+            );
+        }
+        entry.push_str(&format!("cc {test_name} {state:#018x}\n"));
+        let _ = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(entry.as_bytes()));
+    }
+
+    /// Macro entry point: loads persisted states for `test_name` from
+    /// `<manifest_dir>/proptest-regressions/`.
+    pub fn load(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+        load_from(&Path::new(manifest_dir).join(DIR_NAME), test_name)
+    }
+
+    /// Macro entry point: persists a failing state for `test_name` under
+    /// `<manifest_dir>/proptest-regressions/`.
+    pub fn save(manifest_dir: &str, test_name: &str, state: u64) {
+        save_to(&Path::new(manifest_dir).join(DIR_NAME), test_name, state);
     }
 }
 
@@ -638,58 +759,96 @@ macro_rules! __proptest_impl {
                 $body
                 ::std::result::Result::Ok(())
             });
+            let persist_root = env!("CARGO_MANIFEST_DIR");
+            let test_name = concat!(module_path!(), "::", stringify!($name));
             let mut accepted: u32 = 0;
             let mut attempts: u32 = 0;
+            // (failing inputs, failure message, seed provenance note)
+            let mut failing = ::std::option::Option::None;
+            // Persisted failures replay before any fresh sampling, so a
+            // once-seen regression stays fatal until actually fixed.
+            if config.persist {
+                for state in $crate::regressions::load(persist_root, test_name) {
+                    let mut replay = $crate::TestRng::from_state(state);
+                    let vals = $crate::Strategy::sample(&strat, &mut replay);
+                    if let ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) =
+                        run(&vals)
+                    {
+                        failing = ::std::option::Option::Some((
+                            vals,
+                            msg,
+                            format!("replayed persisted seed {state:#018x}"),
+                        ));
+                        break;
+                    }
+                }
+            }
             // Give rejection-heavy properties (prop_assume!) room to find
             // enough accepted cases without looping forever.
             let max_attempts = config.cases.saturating_mul(16).max(64);
-            while accepted < config.cases && attempts < max_attempts {
+            while failing.is_none() && accepted < config.cases && attempts < max_attempts {
                 attempts += 1;
+                // Captured *before* sampling: this state replays the case.
+                let case_state = rng.state();
                 let vals = $crate::Strategy::sample(&strat, &mut rng);
                 match run(&vals) {
                     ::std::result::Result::Ok(()) => accepted += 1,
                     ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
                     ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                        // Bounded greedy shrink: keep the first candidate
-                        // that still fails, restart from it, give up once
-                        // the candidate budget is spent or no candidate
-                        // reproduces the failure.
-                        let mut best = ::std::clone::Clone::clone(&vals);
-                        let mut best_msg = msg;
-                        let mut budget: u32 = 64;
-                        'shrinking: loop {
-                            let mut improved = false;
-                            for cand in $crate::Strategy::shrink(&strat, &best) {
-                                if budget == 0 {
-                                    break 'shrinking;
-                                }
-                                budget -= 1;
-                                if let ::std::result::Result::Err($crate::TestCaseError::Fail(m)) =
-                                    run(&cand)
-                                {
-                                    best = cand;
-                                    best_msg = m;
-                                    improved = true;
-                                    break;
-                                }
-                            }
-                            if !improved {
-                                break;
-                            }
-                        }
-                        panic!(
-                            "property `{}` failed at case {} (attempt {})\n\
-                             original input: {:?}\n\
-                             minimal failing input: {:?}\n{}",
-                            stringify!($name),
-                            accepted,
-                            attempts,
-                            vals,
-                            best,
-                            best_msg
-                        );
+                        let note = if config.persist {
+                            $crate::regressions::save(persist_root, test_name, case_state);
+                            format!(
+                                "seed {case_state:#018x} persisted to {}/{} (replays first on the next run)",
+                                $crate::regressions::DIR_NAME,
+                                $crate::regressions::FILE_NAME
+                            )
+                        } else {
+                            ::std::string::String::from("seed persistence disabled for this property")
+                        };
+                        failing = ::std::option::Option::Some((vals, msg, note));
                     }
                 }
+            }
+            if let ::std::option::Option::Some((vals, msg, note)) = failing {
+                // Bounded greedy shrink: keep the first candidate that
+                // still fails, restart from it, give up once the candidate
+                // budget is spent or no candidate reproduces the failure.
+                let mut best = ::std::clone::Clone::clone(&vals);
+                let mut best_msg = msg;
+                let mut budget: u32 = 64;
+                'shrinking: loop {
+                    let mut improved = false;
+                    for cand in $crate::Strategy::shrink(&strat, &best) {
+                        if budget == 0 {
+                            break 'shrinking;
+                        }
+                        budget -= 1;
+                        if let ::std::result::Result::Err($crate::TestCaseError::Fail(m)) =
+                            run(&cand)
+                        {
+                            best = cand;
+                            best_msg = m;
+                            improved = true;
+                            break;
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+                panic!(
+                    "property `{}` failed at case {} (attempt {})\n\
+                     {}\n\
+                     original input: {:?}\n\
+                     minimal failing input: {:?}\n{}",
+                    stringify!($name),
+                    accepted,
+                    attempts,
+                    note,
+                    vals,
+                    best,
+                    best_msg
+                );
             }
             // A property that never got past its prop_assume! guards proved
             // nothing; vacuous success must not look green.
@@ -820,9 +979,10 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
+        #![proptest_config(ProptestConfig::with_cases(8).no_persist())]
         // No `#[test]`: this property exists to fail and is driven by
-        // `failing_property_reports_the_minimized_input` below.
+        // `failing_property_reports_the_minimized_input` below. It fails by
+        // design, so persistence is off — it must not write files.
         fn shrink_probe(x in 0u64..1000) {
             prop_assert!(x < 17, "x = {} reached the forbidden zone", x);
         }
@@ -837,5 +997,48 @@ mod tests {
             "greedy shrink must land exactly on the threshold:\n{msg}"
         );
         assert!(msg.contains("original input: ("), "the unshrunk case must also be reported");
+        assert!(
+            msg.contains("persistence disabled"),
+            "no_persist must be reported instead of writing files:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn captured_state_replays_identical_samples() {
+        let mut rng = crate::rng_for("replay");
+        let strat = (0u64..1000, any::<bool>(), crate::collection::vec(0u8..9, 1..4));
+        for _ in 0..10 {
+            let state = rng.state();
+            let original = strat.sample(&mut rng);
+            let mut replay = crate::TestRng::from_state(state);
+            assert_eq!(strat.sample(&mut replay), original, "replay must be bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn regressions_round_trip_dedup_and_isolation() {
+        let dir =
+            std::env::temp_dir().join(format!("tetrabft-proptest-shim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(crate::regressions::load_from(&dir, "mod::prop_a").is_empty());
+
+        crate::regressions::save_to(&dir, "mod::prop_a", 0xdead_beef);
+        crate::regressions::save_to(&dir, "mod::prop_a", 0xdead_beef); // dup ignored
+        crate::regressions::save_to(&dir, "mod::prop_a", 0x1234);
+        crate::regressions::save_to(&dir, "mod::prop_b", 0xffff);
+
+        assert_eq!(
+            crate::regressions::load_from(&dir, "mod::prop_a"),
+            vec![0xdead_beef, 0x1234],
+            "states come back in insertion order, deduplicated"
+        );
+        assert_eq!(
+            crate::regressions::load_from(&dir, "mod::prop_b"),
+            vec![0xffff],
+            "per-test isolation"
+        );
+        let text = std::fs::read_to_string(dir.join(crate::regressions::FILE_NAME)).unwrap();
+        assert!(text.starts_with('#'), "file carries its format header:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
