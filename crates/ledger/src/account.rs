@@ -1,0 +1,37 @@
+//! Accounts: the unit of ledger state.
+
+use std::fmt;
+
+/// An account's identity: an opaque 64-bit key (a real deployment would
+/// derive it from a public key; the digest space is what matters here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccountId(pub u64);
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct:{:x}", self.0)
+    }
+}
+
+/// One account's state: a balance and the nonce of its *next* transfer.
+///
+/// An account that has never been touched is indistinguishable from
+/// `Account::default()` — zero balance, zero nonce — so the ledger needs no
+/// explicit account-creation transaction: the first credit materializes it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Account {
+    /// Spendable funds.
+    pub balance: u64,
+    /// Sequence number the account's next outgoing transfer must carry —
+    /// starts at 0, incremented by every applied transfer. Replays (and
+    /// out-of-order submissions) are rejected deterministically at
+    /// execution.
+    pub nonce: u64,
+}
+
+impl Account {
+    /// An account holding `balance` with no transfers sent yet.
+    pub fn with_balance(balance: u64) -> Self {
+        Account { balance, nonce: 0 }
+    }
+}

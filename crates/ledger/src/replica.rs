@@ -1,0 +1,232 @@
+//! The replica-side fold: finalized consensus output → ledger state, with
+//! the cross-replica root check that turns silent execution divergence
+//! into a typed error.
+
+use std::fmt;
+
+use tetrabft_multishot::{Finalized, FinalizedMerge, ShardSpec};
+
+use crate::account::AccountId;
+use crate::ledger::{BlockReceipt, Ledger};
+use crate::state::StateRoot;
+
+/// Two replicas disagree on the state after a block: deterministic
+/// execution of the same finalized chain can only diverge if one of them
+/// executed something else (a forged block, a buggy or malicious
+/// executor), and the chained roots pin the *first* block where it
+/// happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateRootMismatch {
+    /// The first global slot whose roots disagree.
+    pub global_slot: u64,
+    /// This replica's root after that block.
+    pub ours: StateRoot,
+    /// The other replica's root after that block.
+    pub theirs: StateRoot,
+}
+
+impl fmt::Display for StateRootMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state root mismatch at global slot {}: ours {}, theirs {}",
+            self.global_slot, self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for StateRootMismatch {}
+
+/// A replica's ledger fold: feeds per-shard [`Finalized`] events through a
+/// [`FinalizedMerge`] into a [`Ledger`], keeping the per-block root
+/// history for cross-checks.
+///
+/// The same type serves every runtime: the single-instance sim and TCP
+/// cluster use `k = 1` ([`LedgerReplica::new`]), sharded runs feed each
+/// shard's stream with its shard index ([`LedgerReplica::sharded`]) and
+/// the merge reassembles the global order before anything executes — so
+/// roots are comparable across all of them by construction.
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_ledger::{AccountId, LedgerReplica};
+/// use tetrabft_multishot::{Block, Finalized, GENESIS_HASH};
+/// use tetrabft_types::Slot;
+///
+/// let genesis = [(AccountId(1), 100)];
+/// let mut a = LedgerReplica::new(genesis);
+/// let mut b = LedgerReplica::new(genesis);
+/// let block = Block::new(Slot(1), GENESIS_HASH, vec![]);
+/// let fin = Finalized { slot: Slot(1), hash: block.hash(), block };
+/// a.push(0, &fin);
+/// b.push(0, &fin);
+/// assert_eq!(a.root(), b.root());
+/// assert!(a.cross_check(&b).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct LedgerReplica {
+    ledger: Ledger,
+    merge: FinalizedMerge,
+    /// Receipt per executed block, indexed by `global_slot - 1` — the root
+    /// history [`LedgerReplica::cross_check`] walks.
+    receipts: Vec<BlockReceipt>,
+}
+
+impl LedgerReplica {
+    /// A single-stream replica (sim or TCP cluster: one consensus
+    /// instance, shard index 0).
+    pub fn new(genesis: impl IntoIterator<Item = (AccountId, u64)>) -> Self {
+        Self::sharded(ShardSpec::new(1), genesis)
+    }
+
+    /// A replica merging `spec.k()` shard streams into the global order
+    /// before executing.
+    pub fn sharded(spec: ShardSpec, genesis: impl IntoIterator<Item = (AccountId, u64)>) -> Self {
+        LedgerReplica {
+            ledger: Ledger::new(genesis),
+            merge: FinalizedMerge::new(spec),
+            receipts: Vec::new(),
+        }
+    }
+
+    /// Feeds one shard-local finalization and executes every block that
+    /// became globally contiguous, returning how many blocks ran. The
+    /// returned count indexes into [`LedgerReplica::receipts`] if the
+    /// caller wants the details.
+    pub fn push(&mut self, shard: usize, fin: &Finalized) -> usize {
+        self.merge.push(shard, fin.clone());
+        let mut ran = 0;
+        for g in self.merge.by_ref() {
+            let receipt = self.ledger.apply_block(g.global_slot, &g.fin.block.txs);
+            self.receipts.push(receipt);
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Compares per-block roots with another replica over their common
+    /// prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StateRootMismatch`] naming the *first* divergent
+    /// block. Chained roots make divergence sticky, so the first mismatch
+    /// is where execution actually forked.
+    pub fn cross_check(&self, other: &LedgerReplica) -> Result<(), StateRootMismatch> {
+        let common = self.receipts.len().min(other.receipts.len());
+        for i in 0..common {
+            let (ours, theirs) = (self.receipts[i].root, other.receipts[i].root);
+            if ours != theirs {
+                return Err(StateRootMismatch { global_slot: self.receipts[i].slot, ours, theirs });
+            }
+        }
+        Ok(())
+    }
+
+    /// The executed ledger state.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Receipts of every executed block, in global slot order.
+    pub fn receipts(&self) -> &[BlockReceipt] {
+        &self.receipts
+    }
+
+    /// The chained root after the last executed block (the genesis root if
+    /// none ran yet).
+    pub fn root(&self) -> StateRoot {
+        self.ledger.root()
+    }
+
+    /// Number of globally contiguous blocks executed so far.
+    pub fn height(&self) -> u64 {
+        self.ledger.height()
+    }
+
+    /// The next global slot the merge is waiting for — a gap here with
+    /// shard outputs pending means that shard's stream is behind.
+    pub fn next_global_slot(&self) -> u64 {
+        self.merge.next_global_slot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrabft_multishot::{Block, Transaction, GENESIS_HASH};
+    use tetrabft_types::Slot;
+
+    use crate::txn::Transfer;
+
+    fn fin(slot: u64, parent: tetrabft_multishot::BlockHash, txs: Vec<Vec<u8>>) -> Finalized {
+        let block = Block::new(Slot(slot), parent, txs);
+        Finalized { slot: Slot(slot), hash: block.hash(), block }
+    }
+
+    fn pay(from: u64, to: u64, amount: u64, nonce: u64) -> Vec<u8> {
+        Transfer { from: AccountId(from), to: AccountId(to), amount, nonce }.canonical_bytes()
+    }
+
+    #[test]
+    fn sharded_merge_executes_in_global_order() {
+        // k=2: shard 0 owns global slots 1,3; shard 1 owns 2,4. The
+        // transfer chain only balances if executed in global order.
+        let spec = ShardSpec::new(2);
+        let genesis = [(AccountId(1), 100)];
+        let mut replica = LedgerReplica::sharded(spec, genesis);
+        let s0b1 = fin(1, GENESIS_HASH, vec![pay(1, 2, 100, 0)]); // global 1
+        let s1b1 = fin(1, GENESIS_HASH, vec![pay(2, 3, 100, 0)]); // global 2
+                                                                  // Push out of order: shard 1 first. Nothing can run yet.
+        assert_eq!(replica.push(1, &s1b1), 0);
+        assert_eq!(replica.next_global_slot(), 1);
+        // Shard 0 arrives: both blocks become contiguous and run in order.
+        assert_eq!(replica.push(0, &s0b1), 2);
+        assert_eq!(replica.height(), 2);
+        assert_eq!(replica.ledger().account(AccountId(3)).balance, 100);
+        assert!(replica.receipts().iter().all(|r| r.rejected.is_empty()));
+    }
+
+    #[test]
+    fn cross_check_names_the_first_forged_block() {
+        let genesis = [(AccountId(1), 100), (AccountId(2), 100)];
+        let honest_blocks = [
+            fin(1, GENESIS_HASH, vec![pay(1, 2, 10, 0)]),
+            fin(2, GENESIS_HASH, vec![pay(2, 1, 5, 0)]),
+            fin(3, GENESIS_HASH, vec![pay(1, 2, 1, 1)]),
+        ];
+        let mut honest = LedgerReplica::new(genesis);
+        let mut forged = LedgerReplica::new(genesis);
+        for (i, block) in honest_blocks.iter().enumerate() {
+            honest.push(0, block);
+            if i == 1 {
+                // The divergent replica executes a forged slot-2 block.
+                forged.push(0, &fin(2, GENESIS_HASH, vec![pay(2, 1, 99, 0)]));
+            } else {
+                forged.push(0, block);
+            }
+        }
+        let err = honest.cross_check(&forged).unwrap_err();
+        assert_eq!(err.global_slot, 2, "the first divergent block is named");
+        assert_ne!(err.ours, err.theirs);
+        // Symmetric view agrees on the slot.
+        assert_eq!(forged.cross_check(&honest).unwrap_err().global_slot, 2);
+        // And the error says where.
+        assert!(err.to_string().contains("global slot 2"));
+    }
+
+    #[test]
+    fn identical_replicas_stay_in_agreement() {
+        let genesis = [(AccountId(1), 1_000)];
+        let mut a = LedgerReplica::new(genesis);
+        let mut b = LedgerReplica::new(genesis);
+        for slot in 1..=10u64 {
+            let block = fin(slot, GENESIS_HASH, vec![pay(1, 2, 1, slot - 1)]);
+            a.push(0, &block);
+            b.push(0, &block);
+        }
+        assert!(a.cross_check(&b).is_ok());
+        assert_eq!(a.root(), b.root());
+    }
+}

@@ -55,6 +55,7 @@ mod msg;
 mod node;
 mod shard;
 mod store;
+mod txn;
 
 pub use block::{Block, BlockHash, GENESIS_HASH};
 pub use instance::SlotInstance;
@@ -64,3 +65,4 @@ pub use msg::MsMessage;
 pub use node::{Finalized, MultiShotNode, SLOT_WINDOW};
 pub use shard::{FinalizedMerge, GlobalFinalized, ShardSpec, ShardedSim};
 pub use store::BlockStore;
+pub use txn::{RawBytes, Transaction, Tx, TxCheck, TxId};

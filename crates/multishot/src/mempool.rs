@@ -1,15 +1,18 @@
 //! The bounded transaction mempool feeding leader batch assembly.
 //!
 //! The pool replaces the unbounded `VecDeque` the node used to carry:
-//! admission validates transactions (non-empty, under the size cap),
-//! deduplicates against everything still queued, and refuses submissions
-//! past a fixed capacity — the typed [`SubmitError`] is the backpressure
-//! signal clients react to. Drain order is strictly FIFO, so a submitted
-//! transaction's position in the chain is a function of its submission
-//! order alone.
+//! admission validates transactions (non-empty, under the size cap, past
+//! the application's [`TxCheck`] hook when one is installed), deduplicates
+//! on the typed [`TxId`] digest against everything still queued, and
+//! refuses submissions past a fixed capacity — the typed [`SubmitError`]
+//! is the backpressure signal clients react to. Drain order is strictly
+//! FIFO, so a submitted transaction's position in the chain is a function
+//! of its submission order alone.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+
+use crate::txn::{Tx, TxCheck, TxId};
 
 /// Why a transaction submission was refused.
 ///
@@ -37,7 +40,21 @@ pub enum SubmitError {
         /// The configured cap.
         max: usize,
     },
-    /// A byte-identical transaction is already queued.
+    /// The payload is not a canonical encoding of what the application
+    /// accepts (the admission hook could not even parse it).
+    Malformed {
+        /// What failed to parse or violated the canonical form.
+        reason: &'static str,
+    },
+    /// The payload parsed, but the application's admission hook refused it
+    /// (a statically-detectable semantic violation, e.g. a zero-amount or
+    /// self-paying transfer; stateful rules like nonces reject at
+    /// execution instead).
+    Rejected {
+        /// Why the application refused it.
+        reason: &'static str,
+    },
+    /// A transaction with this identity is already queued.
     Duplicate,
     /// The pool is at capacity — the backpressure signal; retry after the
     /// chain drains some blocks.
@@ -54,6 +71,12 @@ impl fmt::Display for SubmitError {
             SubmitError::TooLarge { size, max } => {
                 write!(f, "transaction of {size} bytes exceeds the {max}-byte cap")
             }
+            SubmitError::Malformed { reason } => {
+                write!(f, "malformed transaction: {reason}")
+            }
+            SubmitError::Rejected { reason } => {
+                write!(f, "transaction refused at admission: {reason}")
+            }
             SubmitError::Duplicate => write!(f, "transaction is already queued"),
             SubmitError::Full { capacity } => {
                 write!(f, "mempool is at its capacity of {capacity} transactions")
@@ -64,7 +87,8 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// A bounded FIFO transaction pool with validation and dedup at admission.
+/// A bounded FIFO transaction pool with validation and typed dedup at
+/// admission.
 ///
 /// # Examples
 ///
@@ -83,28 +107,23 @@ impl std::error::Error for SubmitError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mempool {
-    queue: VecDeque<Vec<u8>>,
-    // Multiset of digests of `queue`'s entries. A digest hit alone never
-    // refuses a transaction — admission confirms by byte-comparing against
-    // the queue — so dedup stays byte-exact without storing every payload
-    // twice; the count keeps colliding digests correct through drains.
-    queued: HashMap<u64, u32>,
+    queue: VecDeque<Tx>,
+    // Multiset of queued TxIds. For *typed* transactions the id is the
+    // identity — a hit refuses immediately, no byte re-compare. For
+    // RawBytes submissions a hit is confirmed byte-exactly against the
+    // queue (a pure digest collision must not refuse an honest opaque
+    // payload); the count keeps colliding digests correct through drains.
+    queued: HashMap<TxId, u32>,
     capacity: usize,
     max_tx_bytes: usize,
-}
-
-fn digest(tx: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in tx {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    /// The application's structural-admission veto, if installed.
+    admission: Option<TxCheck>,
 }
 
 impl Mempool {
     /// Creates an empty pool admitting at most `capacity` transactions of
-    /// at most `max_tx_bytes` bytes each.
+    /// at most `max_tx_bytes` bytes each, with no application admission
+    /// hook.
     ///
     /// # Panics
     ///
@@ -112,45 +131,79 @@ impl Mempool {
     pub fn new(capacity: usize, max_tx_bytes: usize) -> Self {
         assert!(capacity > 0, "mempool must admit at least one tx");
         assert!(max_tx_bytes > 0, "tx size cap must be positive");
-        Mempool { queue: VecDeque::new(), queued: HashMap::new(), capacity, max_tx_bytes }
+        Mempool {
+            queue: VecDeque::new(),
+            queued: HashMap::new(),
+            capacity,
+            max_tx_bytes,
+            admission: None,
+        }
+    }
+
+    /// Installs the application's admission hook: every subsequent
+    /// submission must pass `check` or is refused with its typed reason
+    /// ([`SubmitError::Malformed`] / [`SubmitError::Rejected`]).
+    #[must_use]
+    pub fn with_admission(mut self, check: TxCheck) -> Self {
+        self.set_admission(check);
+        self
+    }
+
+    /// In-place form of [`Mempool::with_admission`], for owners that embed
+    /// the pool in a larger structure.
+    pub fn set_admission(&mut self, check: TxCheck) {
+        self.admission = Some(check);
     }
 
     /// Validates and admits one transaction, FIFO position at the tail.
+    /// Accepts anything convertible to the [`Tx`] envelope: a typed
+    /// [`crate::Transaction`] by reference, or a legacy `Vec<u8>` through
+    /// the [`crate::RawBytes`] path.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Empty`] and [`SubmitError::TooLarge`] reject
-    /// degenerate transactions; [`SubmitError::Duplicate`] refuses a
-    /// byte-identical queued transaction; [`SubmitError::Full`] is the
-    /// backpressure signal at capacity.
-    pub fn submit(&mut self, tx: Vec<u8>) -> Result<(), SubmitError> {
+    /// degenerate transactions; [`SubmitError::Malformed`] and
+    /// [`SubmitError::Rejected`] carry the admission hook's veto;
+    /// [`SubmitError::Duplicate`] refuses an already-queued identity;
+    /// [`SubmitError::Full`] is the backpressure signal at capacity.
+    pub fn submit(&mut self, tx: impl Into<Tx>) -> Result<(), SubmitError> {
+        let tx = tx.into();
         if tx.is_empty() {
             return Err(SubmitError::Empty);
         }
         if tx.len() > self.max_tx_bytes {
             return Err(SubmitError::TooLarge { size: tx.len(), max: self.max_tx_bytes });
         }
-        let d = digest(&tx);
-        // Confirm a digest hit by byte comparison: a pure collision must
-        // not refuse an honest transaction.
-        if self.queued.get(&d).is_some_and(|c| *c > 0) && self.queue.contains(&tx) {
-            return Err(SubmitError::Duplicate);
+        if let Some(check) = self.admission {
+            check(&tx)?;
+        }
+        if self.queued.get(&tx.id()).is_some_and(|c| *c > 0) {
+            // Typed ids are identity; only an opaque RawBytes payload needs
+            // the byte-exact confirmation (a colliding digest must not
+            // refuse it).
+            if !tx.is_raw() || self.queue.iter().any(|q| q.bytes() == tx.bytes()) {
+                return Err(SubmitError::Duplicate);
+            }
         }
         if self.queue.len() >= self.capacity {
             return Err(SubmitError::Full { capacity: self.capacity });
         }
-        *self.queued.entry(d).or_insert(0) += 1;
+        *self.queued.entry(tx.id()).or_insert(0) += 1;
         self.queue.push_back(tx);
         Ok(())
     }
 
     /// Drains up to `max_txs` transactions in FIFO order — the leader's
-    /// batch assembly step when it mints a block.
+    /// batch assembly step when it mints a block. Blocks carry the
+    /// canonical bytes alone; the envelope ends at the pool boundary.
     pub fn next_batch(&mut self, max_txs: usize) -> Vec<Vec<u8>> {
         let take = self.queue.len().min(max_txs);
-        let batch: Vec<Vec<u8>> = self.queue.drain(..take).collect();
-        for tx in &batch {
-            self.forget(tx);
+        let mut batch = Vec::with_capacity(take);
+        for _ in 0..take {
+            let tx = self.queue.pop_front().expect("take <= len");
+            self.forget(tx.id());
+            batch.push(tx.into_bytes());
         }
         batch
     }
@@ -160,29 +213,34 @@ impl Mempool {
     /// a view change, so the transactions keep their FIFO position for the
     /// node's next block instead of being silently dropped.
     ///
+    /// The payloads come back from the defeated block, so they re-enter as
+    /// raw envelopes; the [`TxId`] is recomputed from the canonical bytes
+    /// and therefore identical to the one they were first admitted under.
+    ///
     /// The capacity check is deliberately skipped: these transactions were
     /// already admitted once, and the transient overshoot is bounded by
     /// the in-flight window (`SLOT_WINDOW` batches).
     pub fn requeue_front(&mut self, txs: Vec<Vec<u8>>) {
-        for tx in txs.into_iter().rev() {
-            *self.queued.entry(digest(&tx)).or_insert(0) += 1;
+        for bytes in txs.into_iter().rev() {
+            let tx = Tx::raw(bytes);
+            *self.queued.entry(tx.id()).or_insert(0) += 1;
             self.queue.push_front(tx);
         }
     }
 
-    fn forget(&mut self, tx: &[u8]) {
-        if let Some(count) = self.queued.get_mut(&digest(tx)) {
+    fn forget(&mut self, id: TxId) {
+        if let Some(count) = self.queued.get_mut(&id) {
             *count -= 1;
             if *count == 0 {
-                self.queued.remove(&digest(tx));
+                self.queued.remove(&id);
             }
         }
     }
 
-    /// Iterates the queued transactions in FIFO order — what a durable
-    /// node snapshots to disk so admitted transactions survive a crash.
-    pub fn iter(&self) -> impl Iterator<Item = &Vec<u8>> {
-        self.queue.iter()
+    /// Iterates the queued payloads in FIFO order — what a durable node
+    /// snapshots to disk so admitted transactions survive a crash.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.queue.iter().map(|tx| tx.bytes())
     }
 
     /// Number of queued transactions.
@@ -209,6 +267,7 @@ impl Mempool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::txn::RawBytes;
 
     #[test]
     fn fifo_across_batches() {
@@ -248,6 +307,38 @@ mod tests {
         assert_eq!(pool.submit(b"tx".to_vec()), Err(SubmitError::Duplicate));
         assert_eq!(pool.next_batch(10).len(), 1);
         pool.submit(b"tx".to_vec()).expect("drained txs may be resubmitted");
+    }
+
+    #[test]
+    fn typed_and_raw_submissions_share_one_identity() {
+        let mut pool = Mempool::new(10, 64);
+        pool.submit(Tx::typed(&RawBytes(b"pay".to_vec()))).unwrap();
+        // The same canonical bytes, raw this time: same TxId, refused.
+        assert_eq!(pool.submit(b"pay".to_vec()), Err(SubmitError::Duplicate));
+        // And the mirror image: raw first, typed second.
+        pool.submit(b"other".to_vec()).unwrap();
+        assert_eq!(
+            pool.submit(Tx::typed(&RawBytes(b"other".to_vec()))),
+            Err(SubmitError::Duplicate)
+        );
+    }
+
+    #[test]
+    fn admission_hook_vetoes_at_the_door() {
+        fn only_even_first_byte(tx: &Tx) -> Result<(), SubmitError> {
+            match tx.bytes().first() {
+                Some(b) if b % 2 == 0 => Ok(()),
+                Some(_) => Err(SubmitError::Rejected { reason: "odd first byte" }),
+                None => Err(SubmitError::Malformed { reason: "empty" }),
+            }
+        }
+        let mut pool = Mempool::new(10, 64).with_admission(only_even_first_byte);
+        pool.submit(vec![2, 2]).unwrap();
+        assert_eq!(
+            pool.submit(vec![3, 3]),
+            Err(SubmitError::Rejected { reason: "odd first byte" })
+        );
+        assert_eq!(pool.len(), 1, "refused txs never enter the pool");
     }
 
     #[test]
@@ -293,6 +384,14 @@ mod tests {
         assert_eq!(
             SubmitError::TooLarge { size: 9, max: 8 }.to_string(),
             "transaction of 9 bytes exceeds the 8-byte cap"
+        );
+        assert_eq!(
+            SubmitError::Malformed { reason: "not a transfer" }.to_string(),
+            "malformed transaction: not a transfer"
+        );
+        assert_eq!(
+            SubmitError::Rejected { reason: "zero amount" }.to_string(),
+            "transaction refused at admission: zero amount"
         );
     }
 }

@@ -15,6 +15,7 @@ use crate::instance::SlotInstance;
 use crate::mempool::{Mempool, SubmitError};
 use crate::msg::MsMessage;
 use crate::store::BlockStore;
+use crate::txn::{Tx, TxCheck};
 
 /// How many slots may be in flight beyond the last finalized block.
 ///
@@ -196,16 +197,31 @@ impl MultiShotNode {
         self.durable.as_ref().map(|s| (s.live_bytes(), s.chain_bytes(), s.chain_len()))
     }
 
+    /// Installs the application's structural-admission hook: every
+    /// subsequent submission (typed or raw) must pass `check` before it
+    /// enters the mempool, refusing malformed payloads at the door with a
+    /// typed [`SubmitError`]. Composes with [`MultiShotNode::durable`]:
+    /// transactions restored from the write-ahead snapshot were admitted
+    /// (and checked) before the crash.
+    #[must_use]
+    pub fn with_admission(mut self, check: TxCheck) -> Self {
+        self.mempool.set_admission(check);
+        self
+    }
+
     /// Queues a transaction; it will be included the next time this node
     /// leads a slot (liveness: if every node queues it, it eventually lands
-    /// in the finalized chain).
+    /// in the finalized chain). Accepts anything convertible to the typed
+    /// [`Tx`] envelope — a [`crate::Transaction`] by reference, or a legacy
+    /// `Vec<u8>` through the [`crate::RawBytes`] path.
     ///
     /// # Errors
     ///
-    /// Degenerate transactions (empty, oversized, already queued) are
-    /// refused with the reason; [`SubmitError::Full`] is the backpressure
-    /// signal once [`Params::mempool_capacity`] transactions are queued.
-    pub fn submit_tx(&mut self, tx: Vec<u8>) -> Result<(), SubmitError> {
+    /// Degenerate transactions (empty, oversized, already queued, or
+    /// vetoed by the admission hook) are refused with the reason;
+    /// [`SubmitError::Full`] is the backpressure signal once
+    /// [`Params::mempool_capacity`] transactions are queued.
+    pub fn submit_tx(&mut self, tx: impl Into<Tx>) -> Result<(), SubmitError> {
         self.mempool.submit(tx)?;
         self.mempool_dirty = true;
         Ok(())
@@ -946,10 +962,10 @@ impl Node for MultiShotNode {
 }
 
 impl Submitter for MultiShotNode {
-    type Request = Vec<u8>;
+    type Request = Tx;
     type SubmitError = SubmitError;
 
-    fn accept(&mut self, tx: Vec<u8>) -> Result<(), SubmitError> {
+    fn accept(&mut self, tx: Tx) -> Result<(), SubmitError> {
         self.submit_tx(tx)
     }
 }

@@ -1,0 +1,224 @@
+//! The typed transaction surface: what clients submit instead of raw
+//! byte blobs.
+//!
+//! A [`Transaction`] is anything with a *canonical* wire encoding and a
+//! [`TxId`] derived from it. The chain itself still carries opaque bytes —
+//! blocks and the wire format are unchanged — but admission now works on a
+//! typed envelope ([`Tx`]) that knows its digest, so the mempool
+//! deduplicates on identity instead of re-hashing and byte-comparing
+//! payloads, and an application (e.g. `tetrabft-ledger`) can veto
+//! structurally-invalid transactions at the door via an admission hook.
+//! Legacy callers keep working through the [`RawBytes`] adapter (or the
+//! `From<Vec<u8>>` conversion, which is the same thing).
+
+use std::fmt;
+
+use tetrabft_wire::Writer;
+
+/// A transaction's identity: the 64-bit FNV-1a digest of its canonical
+/// encoding.
+///
+/// Two transactions with the same canonical bytes have the same id by
+/// construction, whether they were submitted typed or as raw bytes — so
+/// dedup, requeue-after-lost-view-change, and durable-restore all agree on
+/// what "the same transaction" means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+impl TxId {
+    /// Digests `bytes` (FNV-1a, 64-bit).
+    pub fn of(bytes: &[u8]) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TxId(h)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx:{:016x}", self.0)
+    }
+}
+
+/// A client-submittable transaction: canonical encoding plus the digest
+/// identity derived from it.
+///
+/// Implementors define [`Transaction::encode_canonical`]; the id is always
+/// the digest of those bytes, so `tx_id` must not be overridden to disagree
+/// with the encoding (everything downstream — dedup, requeue, restore —
+/// assumes `tx_id == TxId::of(canonical_bytes)`).
+pub trait Transaction {
+    /// Writes the one true encoding of this transaction.
+    fn encode_canonical(&self, w: &mut Writer);
+
+    /// The canonical bytes (what a block will carry).
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_canonical(&mut w);
+        w.as_bytes().to_vec()
+    }
+
+    /// The transaction's identity: digest of the canonical encoding.
+    fn tx_id(&self) -> TxId {
+        TxId::of(&self.canonical_bytes())
+    }
+}
+
+/// The legacy adapter: an opaque byte payload *is* its own canonical
+/// encoding. Callers that predate the typed surface wrap (or `.into()`)
+/// their `Vec<u8>` and keep working; the mempool falls back to byte-exact
+/// confirmation for these, since arbitrary bytes carry no structure to
+/// trust a digest over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawBytes(pub Vec<u8>);
+
+impl Transaction for RawBytes {
+    fn encode_canonical(&self, w: &mut Writer) {
+        w.put_slice(&self.0);
+    }
+
+    fn canonical_bytes(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+/// The admission envelope: canonical bytes plus the [`TxId`] computed once
+/// at the submission boundary.
+///
+/// This is what [`crate::Mempool::submit`] takes, what
+/// [`crate::MultiShotNode`] accepts as its [`Submitter`] request, and what
+/// a `tetrabft-net` `SubmitHandle` carries to a running node. Blocks still
+/// store the bytes alone — the envelope exists only between client and
+/// mempool.
+///
+/// [`Submitter`]: tetrabft_sim::Submitter
+///
+/// # Examples
+///
+/// ```
+/// use tetrabft_multishot::{RawBytes, Transaction, Tx};
+///
+/// let typed = Tx::typed(&RawBytes(b"pay".to_vec()));
+/// let raw = Tx::from(b"pay".to_vec());
+/// assert_eq!(typed.id(), raw.id(), "same canonical bytes, same identity");
+/// assert!(raw.is_raw() && !typed.is_raw());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tx {
+    id: TxId,
+    bytes: Vec<u8>,
+    raw: bool,
+}
+
+impl Tx {
+    /// Wraps a typed transaction: encodes canonically, digests once.
+    pub fn typed<T: Transaction>(tx: &T) -> Self {
+        let bytes = tx.canonical_bytes();
+        let id = TxId::of(&bytes);
+        Tx { id, bytes, raw: false }
+    }
+
+    /// Wraps an opaque legacy payload (the [`RawBytes`] path).
+    pub fn raw(bytes: Vec<u8>) -> Self {
+        let id = TxId::of(&bytes);
+        Tx { id, bytes, raw: true }
+    }
+
+    /// The transaction's identity.
+    #[inline]
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// The canonical payload bytes (what the block will carry).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Unwraps the payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Payload size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` for an empty payload.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// `true` if this envelope came from the [`RawBytes`] adapter rather
+    /// than a typed [`Transaction`] — dedup then confirms digest hits
+    /// byte-exactly instead of trusting the id.
+    #[inline]
+    pub fn is_raw(&self) -> bool {
+        self.raw
+    }
+}
+
+impl From<Vec<u8>> for Tx {
+    fn from(bytes: Vec<u8>) -> Self {
+        Tx::raw(bytes)
+    }
+}
+
+impl<T: Transaction> From<&T> for Tx {
+    fn from(tx: &T) -> Self {
+        Tx::typed(tx)
+    }
+}
+
+/// An admission hook: the application's veto at the mempool door.
+///
+/// Runs after the size/emptiness checks and before dedup/capacity; a
+/// returned error refuses the submission with that typed reason. Stateless
+/// by design (a plain `fn`, so [`crate::Mempool`] stays `Clone`): it covers
+/// what is *statically* checkable — canonical decode, structural validity —
+/// while stateful rules (nonces, balances) are enforced deterministically
+/// at execution by the application replica.
+pub type TxCheck = fn(&Tx) -> Result<(), crate::SubmitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_and_typed_agree_on_identity() {
+        let bytes = b"transfer 7".to_vec();
+        let typed = Tx::typed(&RawBytes(bytes.clone()));
+        let raw = Tx::raw(bytes.clone());
+        assert_eq!(typed.id(), raw.id());
+        assert_eq!(typed.bytes(), raw.bytes());
+        assert_eq!(typed.id(), TxId::of(&bytes));
+    }
+
+    #[test]
+    fn id_is_content_sensitive() {
+        assert_ne!(TxId::of(b"a"), TxId::of(b"b"));
+        assert_ne!(Tx::raw(b"a".to_vec()).id(), Tx::raw(b"ab".to_vec()).id());
+    }
+
+    #[test]
+    fn conversions_cover_legacy_and_typed_callers() {
+        let from_vec: Tx = b"legacy".to_vec().into();
+        assert!(from_vec.is_raw());
+        let adapter = RawBytes(b"legacy".to_vec());
+        let from_typed: Tx = (&adapter).into();
+        assert!(!from_typed.is_raw());
+        assert_eq!(from_vec.id(), from_typed.id());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(TxId(0xAB).to_string(), "tx:00000000000000ab");
+    }
+}

@@ -106,13 +106,16 @@ impl std::fmt::Display for SubmitClosed {
 impl std::error::Error for SubmitClosed {}
 
 impl<R> SubmitHandle<R> {
-    /// Enqueues one client request for the node's engine mux.
+    /// Enqueues one client request for the node's engine mux. Accepts
+    /// anything convertible into the node's request type — for
+    /// `MultiShotNode` that is the typed `Tx` envelope, so both typed
+    /// transactions and legacy `Vec<u8>` payloads submit directly.
     ///
     /// # Errors
     ///
     /// [`SubmitClosed`] if the node has stopped.
-    pub fn submit(&self, req: R) -> Result<(), SubmitClosed> {
-        (self.send)(req)
+    pub fn submit(&self, req: impl Into<R>) -> Result<(), SubmitClosed> {
+        (self.send)(req.into())
     }
 }
 

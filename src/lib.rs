@@ -4,8 +4,9 @@
 //!
 //! Start with [`consensus`] ([`tetrabft`]) for single-shot consensus,
 //! [`multishot`] for the pipelined blockchain (mempool, batching, and the
-//! sharded mode included), [`engine`] for the unified driver loop every
-//! runtime shares, [`sim`] for the deterministic test harness, and
+//! sharded mode included), [`ledger`] for the account state machine and
+//! state roots executed on top, [`engine`] for the unified driver loop
+//! every runtime shares, [`sim`] for the deterministic test harness, and
 //! [`net`] for real TCP deployment.
 //!
 //! # Examples
@@ -27,6 +28,7 @@
 pub use tetrabft as consensus;
 pub use tetrabft_baselines as baselines;
 pub use tetrabft_engine as engine;
+pub use tetrabft_ledger as ledger;
 pub use tetrabft_mc as mc;
 pub use tetrabft_multishot as multishot;
 pub use tetrabft_net as net;
@@ -37,9 +39,14 @@ pub use tetrabft_wire as wire;
 /// One-stop imports for examples and quick experiments.
 pub mod prelude {
     pub use tetrabft::{Message, Params, TetraNode};
+    pub use tetrabft_ledger::{
+        shard_of_account, transfer_admission, Account, AccountId, Ledger, LedgerReplica, StateRoot,
+        StateRootMismatch, Transfer,
+    };
     pub use tetrabft_multishot::{
         Block, BlockHash, Finalized, FinalizedMerge, GlobalFinalized, Mempool, MsMessage,
-        MultiShotNode, ShardSpec, ShardedSim, SubmitError, GENESIS_HASH,
+        MultiShotNode, RawBytes, ShardSpec, ShardedSim, SubmitError, Transaction, Tx, TxId,
+        GENESIS_HASH,
     };
     pub use tetrabft_sim::{Input, LinkPolicy, Node, Sim, SimBuilder, Submitter, Time};
     pub use tetrabft_types::{Config, NodeId, Phase, Slot, Value, View};
