@@ -1,0 +1,98 @@
+//! **Saturation under client load** — prices the paper's latency-optimal
+//! commit (5δ) against *offered traffic* instead of an idle RTT: an
+//! open-loop Poisson fleet of concurrent TCP clients submits against a
+//! sharded serving cluster while the harness sweeps the aggregate rate
+//! and measures p50/p99/p999 commit latency and finalized throughput at
+//! each load point, locating the saturation knee.
+//!
+//! Asserted at every scale:
+//! - the full client fleet is sustained to the end of every load point
+//!   (full mode: ≥10k concurrent sockets, which is why the fleet runs in
+//!   a re-executed child process with its own fd table);
+//! - below the knee the cluster keeps up (≥90% of offered finalized) and
+//!   p99 commit latency stays flat — within 2× of the best load point,
+//!   plus an allowance of one 9Δ view timeout (on a contended box the
+//!   scheduler can stall a shard into a single view change, which parks
+//!   a tail of that window's transactions without saying anything about
+//!   queueing) — i.e. latency is a property of the protocol, not of the
+//!   queue;
+//! - the first load point is below the knee (the sweep starts in the
+//!   flat regime).
+//!
+//! Set `TETRABFT_BENCH_SMOKE=1` for the CI smoke run: reduced client
+//! count and shorter windows, every assertion still active.
+
+use std::time::Duration;
+
+use tetrabft_bench::print_table;
+use tetrabft_load::{knee_index, print_matrix, sweep, LoadOptions};
+
+fn smoke() -> bool {
+    std::env::var_os("TETRABFT_BENCH_SMOKE").is_some()
+}
+
+fn main() {
+    // Child-process fleets re-execute this binary with
+    // TETRABFT_LOAD_CHILD set; they must not fall through into the
+    // harness below.
+    tetrabft_load::maybe_run_child();
+
+    let (clients, rates, duration): (usize, &[u64], Duration) = if smoke() {
+        (1_000, &[150, 300], Duration::from_secs(3))
+    } else {
+        (10_000, &[250, 1_000, 4_000, 16_000, 64_000], Duration::from_secs(10))
+    };
+
+    let mut base = LoadOptions::new(clients, 0, duration);
+    base.shards = 2;
+    base.nodes_per_shard = 4;
+    base.delta_ms = 100;
+    base.remote_fleet = true;
+
+    let reports = sweep(&base, rates).expect("saturation sweep runs");
+    print_matrix(
+        &format!(
+            "Load saturation — {} clients, {} shards × {} nodes, open loop",
+            clients, base.shards, base.nodes_per_shard
+        ),
+        &reports,
+    );
+
+    // ---- fleet sustained at every load point ---------------------------
+    for report in &reports {
+        assert_eq!(
+            report.connected, clients as u64,
+            "all {clients} clients must stay connected through the {} tx/s point",
+            report.offered_tps
+        );
+        assert!(report.submitted > 0, "open loop must submit");
+    }
+
+    // ---- knee location and flat p99 below it ---------------------------
+    let knee = knee_index(&reports);
+    assert!(knee >= 1, "the lowest offered rate must be below the saturation knee");
+    let below = &reports[..knee];
+    let p99_min = below.iter().map(|r| r.p99_us).min().expect("non-empty");
+    let p99_max = below.iter().map(|r| r.p99_us).max().expect("non-empty");
+    let stall_us = u32::try_from(9 * base.delta_ms * 1000).expect("small delta");
+    assert!(
+        p99_max <= p99_min.saturating_mul(2).saturating_add(stall_us),
+        "p99 must stay flat (within 2x + one view timeout) below the knee: \
+         min {p99_min}us max {p99_max}us"
+    );
+
+    let knee_cell = if knee == reports.len() {
+        format!("> {} tx/s (never saturated)", rates[rates.len() - 1])
+    } else {
+        format!("at {} tx/s offered", rates[knee])
+    };
+    print_table(
+        "Saturation knee",
+        &["clients", "knee", "flat-p99 band (ms)"],
+        &[vec![
+            clients.to_string(),
+            knee_cell,
+            format!("{:.1} .. {:.1}", f64::from(p99_min) / 1000.0, f64::from(p99_max) / 1000.0),
+        ]],
+    );
+}

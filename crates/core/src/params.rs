@@ -36,6 +36,7 @@ pub struct Params {
     max_tx_bytes: usize,
     fsync: FsyncPolicy,
     hotpath_baseline: bool,
+    idle_pacing: u64,
 }
 
 impl Params {
@@ -69,6 +70,7 @@ impl Params {
             max_tx_bytes: Self::DEFAULT_MAX_TX_BYTES,
             fsync: FsyncPolicy::default(),
             hotpath_baseline: false,
+            idle_pacing: 0,
         }
     }
 
@@ -143,6 +145,25 @@ impl Params {
     pub fn with_hotpath_baseline(mut self, baseline: bool) -> Self {
         self.hotpath_baseline = baseline;
         self
+    }
+
+    /// Paces an *idle* multi-shot chain: a leader whose mempool is empty
+    /// holds an otherwise-ready view-0 proposal back for `pause` time
+    /// units instead of free-running empty blocks at CPU speed. `0`
+    /// (the default) disables pacing. A submission arriving during the
+    /// pause is proposed without waiting it out, so pacing trades idle
+    /// burn for at most `pause` of extra commit latency on the first
+    /// transaction after a lull.
+    #[must_use]
+    pub fn with_idle_pacing(mut self, pause: u64) -> Self {
+        self.idle_pacing = pause;
+        self
+    }
+
+    /// Idle proposal pause (`0` = free-run, the default).
+    #[inline]
+    pub fn idle_pacing(&self) -> u64 {
+        self.idle_pacing
     }
 
     /// `true` if quorum checks should use the retained allocating baseline.

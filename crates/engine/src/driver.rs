@@ -88,6 +88,22 @@ pub trait Submitter: Node {
     fn accept(&mut self, req: Self::Request) -> Result<(), Self::SubmitError>;
 }
 
+/// A request clients can ship over a byte-framed transport: the decode
+/// half of the submit path, for runtimes where submissions arrive as
+/// length-prefixed frames on a socket rather than through an in-process
+/// handle.
+///
+/// The encode half is the client's business (for opaque-payload requests
+/// the frame payload *is* the request); a runtime serving framed clients
+/// requires `Submitter::Request: FrameRequest` to turn each frame back
+/// into a typed request at the door.
+pub trait FrameRequest: Sized {
+    /// Decodes one request from a client frame's payload; `None` drops
+    /// the frame (malformed client traffic is ignored, like malformed
+    /// peer traffic).
+    fn from_frame(bytes: &[u8]) -> Option<Self>;
+}
+
 /// The protocol-driving loop around one [`Node`].
 ///
 /// The engine owns the node, its timer-generation table, and the

@@ -27,6 +27,6 @@ mod driver;
 mod node;
 mod time;
 
-pub use driver::{Engine, EngineEvent, Submitter, Transport};
+pub use driver::{Engine, EngineEvent, FrameRequest, Submitter, Transport};
 pub use node::{Action, ActionBuf, Context, Dest, Input, Node, TimerId, WireSize};
 pub use time::{Time, NEVER};

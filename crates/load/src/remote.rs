@@ -1,0 +1,155 @@
+//! Parent side of the child-process fleet.
+//!
+//! One process cannot hold 10k client sockets *and* the cluster's own
+//! sockets under a 20k file-descriptor rlimit, so the big fleets run in
+//! a child process with a descriptor table of its own: the parent
+//! re-executes its own binary with `TETRABFT_LOAD_CHILD=1` (the child's
+//! `main` must call [`maybe_run_child`](crate::maybe_run_child) first
+//! thing) and drives it over stdio with the protocol documented there.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use tetrabft_multishot::TxId;
+
+use crate::fleet::{FleetReport, FleetSpec};
+
+/// A fleet running in a re-executed child of the current binary.
+pub struct RemoteFleet {
+    child: Child,
+    stdin: Option<BufWriter<ChildStdin>>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl RemoteFleet {
+    /// Re-executes the current binary as a fleet child and ships it
+    /// `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the child cannot be spawned or its pipes wired up.
+    pub fn spawn(spec: &FleetSpec) -> io::Result<RemoteFleet> {
+        let exe = std::env::current_exe()?;
+        let mut child = Command::new(exe)
+            .env("TETRABFT_LOAD_CHILD", "1")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut fleet = RemoteFleet {
+            child,
+            stdin: Some(BufWriter::new(stdin)),
+            stdout: BufReader::new(stdout),
+        };
+        let pipe = fleet.stdin.as_mut().expect("stdin open");
+        writeln!(pipe, "{}", spec.to_line())?;
+        pipe.flush()?;
+        Ok(fleet)
+    }
+
+    /// Blocks until the child's fleet has dialed every client; returns
+    /// the connected count.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a broken pipe or a malformed `READY` line.
+    pub fn wait_ready(&mut self) -> io::Result<u64> {
+        let mut line = String::new();
+        self.stdout.read_line(&mut line)?;
+        line.trim()
+            .strip_prefix("READY ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad READY: {line}")))
+    }
+
+    /// Starts the child's submit window.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a broken pipe.
+    pub fn go(&mut self) -> io::Result<()> {
+        let pipe = self.stdin.as_mut().expect("stdin open");
+        writeln!(pipe, "GO")?;
+        pipe.flush()
+    }
+
+    /// Forwards one finalized transaction id (buffered; call
+    /// [`RemoteFleet::flush`] after a batch).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a broken pipe.
+    pub fn finalized(&mut self, id: TxId) -> io::Result<()> {
+        self.stdin.as_mut().expect("stdin open").write_all(&id.0.to_le_bytes())
+    }
+
+    /// Flushes buffered finalized ids to the child.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a broken pipe.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.stdin.as_mut().expect("stdin open").flush()
+    }
+
+    /// Closes the child's stdin (ending its run) and reads its report.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the child exits abnormally or its report is malformed.
+    pub fn finish(mut self) -> io::Result<FleetReport> {
+        drop(self.stdin.take());
+        let mut report = FleetReport::default();
+
+        let mut line = String::new();
+        self.stdout.read_line(&mut line)?;
+        let stats = line.trim().strip_prefix("STATS ").ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad STATS: {line}"))
+        })?;
+        for field in stats.split_whitespace() {
+            let Some((key, value)) = field.split_once('=') else { continue };
+            let value: u64 = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad STATS value"))?;
+            match key {
+                "connected" => report.connected = value,
+                "submitted" => report.submitted = value,
+                "confirmed" => report.confirmed = value,
+                "inflight_hwm" => report.inflight_hwm = value,
+                _ => {}
+            }
+        }
+
+        line.clear();
+        self.stdout.read_line(&mut line)?;
+        let count: usize = line
+            .trim()
+            .strip_prefix("SAMPLES ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad SAMPLES"))?;
+        let mut word = [0u8; 4];
+        report.samples_us.reserve(count);
+        for _ in 0..count {
+            self.stdout.read_exact(&mut word)?;
+            report.samples_us.push(u32::from_le_bytes(word));
+        }
+
+        let status = self.child.wait()?;
+        if !status.success() {
+            return Err(io::Error::other(format!("load child exited with {status}")));
+        }
+        Ok(report)
+    }
+}
+
+impl Drop for RemoteFleet {
+    fn drop(&mut self) {
+        // Normal shutdown goes through `finish`; on an error path make
+        // sure the child does not outlive the harness.
+        drop(self.stdin.take());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

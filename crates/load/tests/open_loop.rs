@@ -1,0 +1,69 @@
+//! End-to-end exercise of the open-loop harness at a deliberately tiny
+//! scale: a real serving TCP cluster, a real client fleet over the
+//! `polling` shim, real commit-latency samples.
+
+use std::time::Duration;
+
+use tetrabft_load::{knee_index, percentile_us, run_load, LoadOptions, LoadReport};
+
+fn point(offered_tps: u64, achieved_tps: f64, inflight_hwm: u64) -> LoadReport {
+    LoadReport {
+        offered_tps,
+        connected: 1,
+        submitted: offered_tps,
+        confirmed: offered_tps,
+        achieved_tps,
+        p50_us: 1,
+        p99_us: 2,
+        p999_us: 3,
+        inflight_hwm,
+        per_shard: Vec::new(),
+    }
+}
+
+#[test]
+fn knee_flags_throughput_and_backlog_saturation() {
+    // Pure throughput shortfall.
+    assert_eq!(knee_index(&[point(100, 99.0, 3), point(200, 150.0, 9)]), 1);
+    // Grace-masked saturation: confirmed catches back up, but the
+    // backlog high-water mark betrays the growing queue.
+    assert_eq!(knee_index(&[point(100, 99.0, 3), point(200, 199.0, 600)]), 1);
+    // A one-off stall's backlog (well under a second of offered load)
+    // does not count as a knee.
+    assert_eq!(knee_index(&[point(100, 99.0, 48), point(200, 199.0, 9)]), 2);
+}
+
+#[test]
+fn percentiles_are_nearest_rank() {
+    let samples: Vec<u32> = (1..=100).collect();
+    assert_eq!(percentile_us(&samples, 50.0), 50);
+    assert_eq!(percentile_us(&samples, 99.0), 99);
+    assert_eq!(percentile_us(&samples, 99.9), 100);
+    assert_eq!(percentile_us(&[], 50.0), 0);
+    assert_eq!(percentile_us(&[42], 99.9), 42);
+}
+
+#[test]
+fn small_open_loop_run_confirms_submissions() {
+    let mut opts = LoadOptions::new(16, 120, Duration::from_secs(2));
+    opts.delta_ms = 400;
+    let report = run_load(&opts).expect("load point runs");
+
+    assert_eq!(report.connected, 16, "every client handshakes");
+    assert!(report.submitted > 0, "open loop submitted transactions");
+    // The cluster is idle at 120 tx/s: essentially everything offered
+    // inside the window must finalize (the tail that was still in
+    // flight at the deadline is bounded by the grace drain).
+    assert!(
+        report.confirmed * 10 >= report.submitted * 9,
+        "expected >=90% confirmed, got {}/{}",
+        report.confirmed,
+        report.submitted
+    );
+    assert!(report.p50_us > 0 && report.p50_us <= report.p99_us);
+    assert_eq!(report.per_shard.len(), 1);
+    assert_eq!(report.per_shard[0].txs, report.confirmed);
+
+    // An unsaturated single point has its knee past the end.
+    assert_eq!(knee_index(&[report]), 1);
+}

@@ -28,6 +28,10 @@ pub const SLOT_WINDOW: u64 = 8;
 /// space can never collide with a reachable slot.
 const CATCHUP_TIMER: TimerId = TimerId(u64::MAX);
 
+/// Timer id reserved for idle proposal pacing ([`Params::idle_pacing`]).
+/// Slot timers use the slot number itself, so the two top ids are free.
+const PACE_TIMER: TimerId = TimerId(u64::MAX - 1);
+
 /// Most blocks a node serves per catch-up response — half the hostile-decode
 /// bound ([`crate::msg::MAX_CATCHUP_BLOCKS`]), so honest responses always
 /// decode. A lagging node re-requests as soon as a batch commits, so the cap
@@ -108,6 +112,12 @@ pub struct MultiShotNode {
     /// Reusable scratch for the finalization chain walk (good case: one
     /// entry per finalize).
     scratch_chain: Vec<(Slot, BlockHash, Block)>,
+    /// Idle pacing ([`Params::idle_pacing`]): the slot whose empty view-0
+    /// proposal is currently held back behind [`PACE_TIMER`].
+    pace_pending: Option<Slot>,
+    /// Set when the pace timer fires; the next paced proposal consumes it
+    /// and goes out (empty) instead of re-arming.
+    pace_ready: bool,
 }
 
 impl MultiShotNode {
@@ -134,6 +144,8 @@ impl MultiShotNode {
             scratch_suggests: Vec::new(),
             scratch_proofs: Vec::new(),
             scratch_chain: Vec::new(),
+            pace_pending: None,
+            pace_ready: false,
         }
     }
 
@@ -645,6 +657,9 @@ impl MultiShotNode {
         }
         let block = if view.is_zero() {
             let Some(parent) = self.parent_ready(slot) else { return false };
+            if self.pace(slot, ctx) {
+                return false;
+            }
             self.build_block(slot, parent)
         } else {
             // Fill the retained scratch instead of collecting a fresh Vec.
@@ -709,6 +724,34 @@ impl MultiShotNode {
         // current view of prev has no proposal yet (its leader may be the
         // very node whose failure triggered recovery).
         pinst.notarized.filter(|h| self.store.contains(*h))
+    }
+
+    /// Idle pacing gate for a view-0 proposal that is otherwise ready:
+    /// returns `true` to hold the proposal back. With pacing enabled and
+    /// an empty mempool, the first call arms [`PACE_TIMER`] and every
+    /// call until it fires defers; the firing releases exactly one empty
+    /// proposal. A submission arriving mid-pause makes the mempool
+    /// non-empty, so the next `drive` proposes immediately (and cancels
+    /// the now-moot timer). View-change paths (`view > 0`) never pace —
+    /// recovery liveness is not traded for idle CPU.
+    fn pace(&mut self, slot: Slot, ctx: &mut Ctx<'_>) -> bool {
+        if self.params.idle_pacing() == 0 || !self.mempool.is_empty() {
+            if self.pace_pending.take().is_some() {
+                ctx.cancel_timer(PACE_TIMER);
+            }
+            self.pace_ready = false;
+            return false;
+        }
+        if self.pace_ready {
+            self.pace_ready = false;
+            self.pace_pending = None;
+            return false;
+        }
+        if self.pace_pending != Some(slot) {
+            self.pace_pending = Some(slot);
+            ctx.set_timer(PACE_TIMER, self.params.idle_pacing());
+        }
+        true
     }
 
     fn build_block(&mut self, slot: Slot, parent: BlockHash) -> Block {
@@ -923,6 +966,11 @@ impl Node for MultiShotNode {
                 ctx.broadcast(MsMessage::CatchUp { from_slot: self.finalized.next() });
                 ctx.set_timer(CATCHUP_TIMER, self.params.view_timeout());
             }
+            Input::Timer { id } if id == PACE_TIMER => {
+                self.pace_ready = true;
+                self.pace_pending = None;
+                self.drive(ctx);
+            }
             Input::Timer { id } => {
                 self.on_timeout(Slot(id.0), ctx);
                 self.drive(ctx);
@@ -1023,6 +1071,25 @@ mod tests {
         for pair in times.windows(2) {
             assert_eq!(pair[1] - pair[0], 1, "then one block per message delay");
         }
+        assert_consistency(&sim, n);
+    }
+
+    #[test]
+    fn idle_pacing_throttles_empty_blocks_without_stalling() {
+        let n = 4;
+        // Message delay 1, pace 10: an idle paced chain advances roughly
+        // one slot per pause instead of one per delay.
+        let mut sim = SimBuilder::new(n)
+            .policy(LinkPolicy::synchronous(1))
+            .build(|id| MultiShotNode::new(cfg(4), Params::new(100).with_idle_pacing(10), id));
+        sim.run_until(Time(300));
+        let chain = chain_of(&sim, NodeId(0));
+        assert!(!chain.is_empty(), "a paced chain still finalizes");
+        assert!(
+            chain.len() <= 60,
+            "pacing must throttle the idle chain, got {} slots in 300 delays",
+            chain.len()
+        );
         assert_consistency(&sim, n);
     }
 

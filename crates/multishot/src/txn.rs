@@ -171,6 +171,17 @@ impl From<Vec<u8>> for Tx {
     }
 }
 
+/// Over a framed client connection the frame payload *is* the (opaque)
+/// transaction, so submitting clients and the chain agree on the identity
+/// for free: both sides digest the same bytes into the same [`TxId`] —
+/// which is exactly what lets a load generator match its submissions
+/// against the finalized stream without any richer client protocol.
+impl tetrabft_sim::FrameRequest for Tx {
+    fn from_frame(bytes: &[u8]) -> Option<Self> {
+        (!bytes.is_empty()).then(|| Tx::raw(bytes.to_vec()))
+    }
+}
+
 impl<T: Transaction> From<&T> for Tx {
     fn from(tx: &T) -> Self {
         Tx::typed(tx)

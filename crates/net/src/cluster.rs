@@ -6,12 +6,13 @@ use std::net::TcpListener;
 use std::sync::mpsc;
 use std::time::Duration;
 
-use tetrabft_engine::{Node, Submitter};
+use tetrabft_engine::{FrameRequest, Node, Submitter};
 use tetrabft_sim::LinkPlan;
 use tetrabft_types::NodeId;
 use tetrabft_wire::Wire;
 
 use crate::link::{LinkSetup, NetControl};
+use crate::reactor::SubmitCodec;
 use crate::runner::{run_node_inner, run_submitter_inner, NodeHandle, SubmitHandle};
 use crate::topology::{NetError, Topology};
 
@@ -135,6 +136,7 @@ impl ClusterBuilder {
                 topology.clone(),
                 tx.clone(),
                 setup.clone(),
+                None,
                 |_, never| match never {},
             )?;
             handles.push(handle);
@@ -150,8 +152,47 @@ impl ClusterBuilder {
     ///
     /// As [`ClusterBuilder::spawn`].
     pub fn spawn_submitting<N, O, F>(
+        self,
+        make: F,
+    ) -> Result<(SubmittingCluster<O, N::Request>, NetControl), NetError>
+    where
+        N: Submitter<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        N::Request: Send + 'static,
+        O: Send + 'static,
+        F: FnMut(NodeId) -> N,
+    {
+        self.spawn_submitting_with(make, None)
+    }
+
+    /// Like [`ClusterBuilder::spawn_submitting`] for nodes **serving
+    /// framed client submissions over TCP**: every node also accepts
+    /// client connections on its listen port (hello id `0xFFFF`), decodes
+    /// each frame through [`FrameRequest`], and feeds it into the engine
+    /// mux — the 10k-client path of `tetrabft-load`, with no thread per
+    /// connection. The in-process [`SubmitHandle`]s are returned too.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterBuilder::spawn`].
+    pub fn spawn_serving<N, O, F>(
+        self,
+        make: F,
+    ) -> Result<(SubmittingCluster<O, N::Request>, NetControl), NetError>
+    where
+        N: Submitter<Output = O> + Send + 'static,
+        N::Msg: Wire + Send + 'static,
+        N::Request: FrameRequest + Send + 'static,
+        O: Send + 'static,
+        F: FnMut(NodeId) -> N,
+    {
+        self.spawn_submitting_with(make, Some(N::Request::from_frame))
+    }
+
+    fn spawn_submitting_with<N, O, F>(
         mut self,
         mut make: F,
+        codec: Option<SubmitCodec<N::Request>>,
     ) -> Result<(SubmittingCluster<O, N::Request>, NetControl), NetError>
     where
         N: Submitter<Output = O> + Send + 'static,
@@ -173,6 +214,7 @@ impl ClusterBuilder {
                 topology.clone(),
                 tx.clone(),
                 setup.clone(),
+                codec,
             )?;
             handles.push(handle);
             submitters.push(submit);
@@ -263,6 +305,7 @@ impl<O> Cluster<O> {
             self.topology.clone(),
             self.tx.clone(),
             self.setup.clone(),
+            None,
             |_, never| match never {},
         )?;
         self.handles[id.index()] = handle;
@@ -300,9 +343,17 @@ impl<O> Cluster<O> {
             self.topology.clone(),
             self.tx.clone(),
             self.setup.clone(),
+            None,
         )?;
         self.handles[id.index()] = handle;
         Ok(submit)
+    }
+
+    /// The addresses this cluster's nodes listen on — what a TCP client
+    /// fleet needs to dial the nodes of a [`ClusterBuilder::spawn_serving`]
+    /// cluster.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Waits for the next protocol output from any node.

@@ -61,14 +61,19 @@
 
 mod cluster;
 mod link;
+mod reactor;
 mod runner;
 mod supervisor;
 mod topology;
 
 pub use cluster::{Cluster, ClusterBuilder, ShardedCluster, SubmittingCluster};
-pub use link::{NetControl, NetStats};
+pub use link::{NetControl, NetStats, PeerTraffic};
+pub use reactor::CLIENT_HELLO_ID;
 pub use runner::{run_node, run_submitter, NodeHandle, SubmitClosed, SubmitHandle};
 pub use topology::{NetError, Topology, TopologyError};
+// The request-decode half of the TCP submit path lives with the engine so
+// every runtime shares it; re-export for serving-cluster embedders.
+pub use tetrabft_engine::FrameRequest;
 // The scenario language is shared with the simulator; re-export it so TCP
 // embedders keep a single import path.
 pub use tetrabft_sim::{EdgeSpec, LinkPlan, PartitionWindow};

@@ -27,16 +27,65 @@ pub(crate) struct NetMetrics {
     pub frames_dropped: AtomicU64,
     pub frames_shed: AtomicU64,
     pub frames_dropped_stale: AtomicU64,
+    /// Deepest any link's send queue has ever been (reactor gauge).
+    pub send_queue_hwm: AtomicU64,
+    /// Reactor wakeups (one per poller wait that returned), cluster-wide.
+    pub poll_wakeups: AtomicU64,
+    /// Client-connection ingress (submissions over TCP, not peer traffic).
+    pub client_bytes_in: AtomicU64,
+    /// Per-peer socket traffic, indexed by [`NodeId`]: bytes received from
+    /// that peer / bytes sent to it, summed over the whole cluster.
+    pub per_peer: Vec<PeerCounters>,
+}
+
+/// One peer's byte counters (see [`NetMetrics::per_peer`]).
+#[derive(Debug, Default)]
+pub(crate) struct PeerCounters {
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
 }
 
 impl NetMetrics {
+    pub(crate) fn new(n: usize) -> Self {
+        NetMetrics {
+            per_peer: std::iter::repeat_with(PeerCounters::default).take(n).collect(),
+            ..NetMetrics::default()
+        }
+    }
+
+    /// Records a send-queue depth observation, keeping the high-water mark.
+    pub(crate) fn note_queue_depth(&self, depth: u64) {
+        self.send_queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Counts `bytes` written to peer `to`.
+    pub(crate) fn note_sent(&self, bytes: u64, to: NodeId) {
+        if let Some(c) = self.per_peer.get(to.index()) {
+            c.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `bytes` read from peer `from` (`None` = a client connection).
+    pub(crate) fn note_received(&self, bytes: u64, from: Option<NodeId>) {
+        match from.and_then(|id| self.per_peer.get(id.index())) {
+            Some(c) => c.bytes_in.fetch_add(bytes, Ordering::Relaxed),
+            None => self.client_bytes_in.fetch_add(bytes, Ordering::Relaxed),
+        };
+    }
+
     pub(crate) fn snapshot(&self) -> NetStats {
+        let bytes_out = self.per_peer.iter().map(|c| c.bytes_out.load(Ordering::Relaxed)).sum();
+        let peer_in: u64 = self.per_peer.iter().map(|c| c.bytes_in.load(Ordering::Relaxed)).sum();
         NetStats {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             frames_resent: self.frames_resent.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
             frames_shed: self.frames_shed.load(Ordering::Relaxed),
             frames_dropped_stale: self.frames_dropped_stale.load(Ordering::Relaxed),
+            send_queue_hwm: self.send_queue_hwm.load(Ordering::Relaxed),
+            poll_wakeups: self.poll_wakeups.load(Ordering::Relaxed),
+            bytes_in: peer_in + self.client_bytes_in.load(Ordering::Relaxed),
+            bytes_out,
         }
     }
 }
@@ -60,6 +109,32 @@ pub struct NetStats {
     /// addressed a state the peer no longer holds, and replaying them
     /// would resurrect a conversation the restart ended.
     pub frames_dropped_stale: u64,
+    /// Reactor gauge: the deepest any link's send queue has ever been
+    /// (frames conditioned and waiting for the socket). Compare against
+    /// the 4096-frame buffer bound to see how close a run came to
+    /// shedding.
+    pub send_queue_hwm: u64,
+    /// Reactor gauge: poller wakeups so far, summed over every node's
+    /// reactor. Divide by wall-clock runtime for wakeups/s — the "how busy
+    /// are the event loops" number.
+    pub poll_wakeups: u64,
+    /// Total bytes read off every socket (peer links and client
+    /// submissions).
+    pub bytes_in: u64,
+    /// Total bytes written to every peer socket.
+    pub bytes_out: u64,
+}
+
+/// One row of [`NetControl::peer_traffic`]: a peer and the bytes the
+/// cluster's reactors have exchanged with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Which peer.
+    pub peer: NodeId,
+    /// Bytes read from this peer's inbound connections.
+    pub bytes_in: u64,
+    /// Bytes written to this peer over outbound links.
+    pub bytes_out: u64,
 }
 
 /// Handle to a running cluster's link layer: aggregated [`NetStats`] and
@@ -87,6 +162,23 @@ impl NetControl {
     /// Current link-layer counters, aggregated over every edge.
     pub fn stats(&self) -> NetStats {
         self.metrics.snapshot()
+    }
+
+    /// Per-peer socket traffic: for each [`NodeId`], the bytes every
+    /// reactor has read from that peer's connections and written to its
+    /// links (cluster-wide sums; client-submission ingress is not
+    /// attributed to any peer and only appears in [`NetStats::bytes_in`]).
+    pub fn peer_traffic(&self) -> Vec<PeerTraffic> {
+        self.metrics
+            .per_peer
+            .iter()
+            .enumerate()
+            .map(|(i, c)| PeerTraffic {
+                peer: NodeId(i as u16),
+                bytes_in: c.bytes_in.load(Ordering::Relaxed),
+                bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Kills the live sockets between `a` and `b` (both directions), once.
@@ -129,7 +221,7 @@ impl LinkSetup {
         LinkSetup {
             plan: Arc::new(plan),
             epoch: Instant::now(),
-            metrics: Arc::new(NetMetrics::default()),
+            metrics: Arc::new(NetMetrics::new(n)),
             cuts: Arc::new(cuts),
             seed,
         }

@@ -1,63 +1,76 @@
-//! Drives one protocol state machine over real sockets and timers — a
-//! threaded TCP [`Transport`] underneath the shared
+//! Drives one protocol state machine over real sockets and timers — the
+//! reactor-backed TCP [`Transport`] underneath the shared
 //! [`tetrabft_engine::Engine`] loop.
 //!
-//! The runtime owns only I/O: the accept loop, per-peer reader threads and
-//! link supervisors (`supervisor.rs` — reconnect with capped backoff,
-//! re-handshake, buffered resume, link conditioning), a wall-clock timer
-//! heap, and the channels that funnel everything into one event stream per
-//! node. Timer generations, action dispatch, and the input mux (deliver /
-//! timer / client-submit) live in the engine, exactly as in the simulator.
+//! Each node runs exactly **two** threads, independent of cluster size and
+//! client count:
 //!
-//! Outbound messages are staged per event batch: each wakeup of the event
-//! loop drains every already-queued event (bounded by `MAX_BATCH`) through
-//! the engine's `*_buffered` entry points, the transport frames each
-//! message once and parks it in a per-peer outbox, and one
-//! [`Transport::flush`] at the end of the batch hands each peer's staged
-//! frames to its link supervisor in a single channel operation; the
-//! supervisor writes the whole batch through one buffered flush.
+//! * the **reactor** (`reactor.rs`): one readiness-polled event loop
+//!   owning the listener, every inbound peer/client connection, and every
+//!   supervised outbound link;
+//! * the **engine loop** (this module): drains the node's single event
+//!   channel (deliveries, due timers, client submissions), steps the
+//!   engine in bounded batches, and keeps the wall-clock timer heap
+//!   locally — armings never cross a thread.
+//!
+//! Outbound messages are staged per event batch: each wakeup drains every
+//! already-queued event (bounded by `MAX_BATCH`) through the engine's
+//! `*_buffered` entry points, the transport frames each message once and
+//! parks it in a per-peer outbox, and one [`Transport::flush`] at the end
+//! of the batch hands each peer's staged frames to the reactor in a single
+//! channel operation plus one poller wakeup.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::collections::BinaryHeap;
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use polling::Poller;
 use tetrabft_engine::{Dest, Engine, Node, Submitter, Time, TimerId, Transport};
 use tetrabft_sim::LinkPlan;
 use tetrabft_types::NodeId;
-use tetrabft_wire::frame::{encode_frame_into, FrameDecoder};
+use tetrabft_wire::frame::encode_frame_into;
 use tetrabft_wire::{Wire, Writer};
 
 use crate::link::LinkSetup;
-use crate::supervisor::{run_link, LinkConfig};
+use crate::reactor::{run_reactor, ReactorConfig, SubmitCodec};
 use crate::topology::{NetError, Topology};
 
 /// Internal events multiplexed into the node's single-threaded loop.
+/// (Timer firings no longer appear here: the engine loop owns its timer
+/// heap outright, so a due timer is a heap pop, not a channel message.)
 pub(crate) enum Event<M, R> {
     Deliver { from: NodeId, msg: M },
-    Timer { id: TimerId, generation: u64 },
     Submit(R),
 }
 
-/// An armed timer handed to the node's shared timer thread.
+/// An armed timer in the engine loop's local deadline heap.
 type Arming = (Instant, u64, TimerId);
 
 /// A spawned node: its stop handle plus the event channel feeding its
 /// engine mux (kept internal; submitters wrap it in a [`SubmitHandle`]).
 type Spawned<M, R> = (NodeHandle, mpsc::Sender<Event<M, R>>);
 
-/// Frames staged for one peer's link supervisor.
+/// Frames staged for one peer, handed to the reactor on flush.
 type Batch = Vec<Arc<Vec<u8>>>;
+
+/// How many queued events one wakeup may drain before it must seal:
+/// bounds both worst-case flush latency and how long persisted state can
+/// trail the newest processed input.
+const MAX_BATCH: usize = 64;
+
+/// Upper bound on one engine-loop wait, so the stop flag is noticed
+/// promptly even on an idle node.
+const ENGINE_POLL: Duration = Duration::from_millis(20);
 
 /// Handle to a running node.
 ///
 /// The node's event loop stops when the handle is aborted or dropped; its
-/// I/O threads unwind as their sockets and channels close.
+/// reactor unwinds with it, closing every socket it owns.
 #[derive(Debug)]
 pub struct NodeHandle {
     stop: Arc<AtomicBool>,
@@ -119,15 +132,18 @@ impl<R> SubmitHandle<R> {
     }
 }
 
-/// The threaded TCP transport: frames staged into per-peer outboxes and
-/// handed to link supervisors on flush, armings to the timer thread,
+/// The reactor-backed TCP transport: frames staged into per-peer outboxes
+/// and handed to the reactor on flush (one channel send per peer plus one
+/// poller wakeup), armings into the engine loop's local timer heap,
 /// loopback deliveries back into the event channel, outputs to the
 /// application channel.
 struct TcpTransport<'a, M, R, O> {
     me: NodeId,
-    writers: &'a HashMap<NodeId, mpsc::Sender<Batch>>,
+    n: usize,
+    cmds: &'a mpsc::Sender<(NodeId, Batch)>,
+    poller: &'a Poller,
     events: &'a mpsc::Sender<Event<M, R>>,
-    timers: &'a mpsc::Sender<Arming>,
+    timers: &'a mut BinaryHeap<Reverse<Arming>>,
     outputs: &'a mpsc::Sender<(NodeId, O)>,
     /// Scratch encoder reused across sends: payload bytes land here, then
     /// are framed straight into the one outbound allocation per message.
@@ -158,8 +174,10 @@ impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
         match dest {
             Dest::All => {
                 if let Some(bytes) = self.frame(&msg) {
-                    for peer in self.writers.keys() {
-                        self.outbox[peer.index()].push(Arc::clone(&bytes));
+                    for i in 0..self.n {
+                        if i != self.me.index() {
+                            self.outbox[i].push(Arc::clone(&bytes));
+                        }
                     }
                 }
                 // Loopback, like the simulator: instantaneous (and exempt
@@ -170,8 +188,8 @@ impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
                 let _ = self.events.send(Event::Deliver { from: self.me, msg });
             }
             Dest::Node(to) => {
-                if let Some(bytes) = self.frame(&msg) {
-                    if self.writers.contains_key(&to) {
+                if to.index() < self.n {
+                    if let Some(bytes) = self.frame(&msg) {
                         self.outbox[to.index()].push(bytes);
                     }
                 }
@@ -181,7 +199,7 @@ impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
 
     fn arm_timer(&mut self, id: TimerId, generation: u64, after: u64) {
         let due = Instant::now() + Duration::from_millis(after);
-        let _ = self.timers.send((due, generation, id));
+        self.timers.push(Reverse((due, generation, id)));
     }
 
     fn deliver_output(&mut self, out: O) {
@@ -189,19 +207,22 @@ impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
     }
 
     fn flush(&mut self) {
-        // One channel handoff per peer per engine input: everything this
-        // input produced for a peer travels (and is later written) as one
-        // batch.
+        // One channel handoff per peer per engine batch, then a single
+        // reactor wakeup: everything this batch produced for a peer
+        // travels (and is later written) together.
+        let mut handed_off = false;
         for (i, batch) in self.outbox.iter_mut().enumerate() {
             if batch.is_empty() {
                 continue;
             }
-            match self.writers.get(&NodeId(i as u16)) {
-                Some(tx) => {
-                    let _ = tx.send(std::mem::take(batch));
-                }
-                None => batch.clear(),
+            if self.cmds.send((NodeId(i as u16), std::mem::take(batch))).is_ok() {
+                handed_off = true;
+            } else {
+                batch.clear();
             }
+        }
+        if handed_off {
+            let _ = self.poller.notify();
         }
     }
 }
@@ -209,14 +230,14 @@ impl<M: Wire, R, O> Transport<M, O> for TcpTransport<'_, M, R, O> {
 /// Runs `node` as `me`, listening on `listener` and dialing the peers of
 /// `topology` (indexed by [`NodeId`]); outputs are forwarded to `outputs`.
 ///
-/// Every outbound link is supervised: it dials with capped exponential
-/// backoff, re-handshakes after drops, and resends unconfirmed frames, so
-/// peers may boot in any order and flapping connections only delay
-/// traffic. One protocol tick is one millisecond of wall-clock time.
+/// Every outbound link is supervised reactor state: it dials with capped
+/// jittered backoff, re-handshakes after drops, and resends unretired
+/// frames, so peers may boot in any order and flapping connections only
+/// delay traffic. One protocol tick is one millisecond of wall-clock time.
 ///
 /// # Errors
 ///
-/// [`NetError`] if the listener cannot be configured.
+/// [`NetError`] if the listener or poller cannot be configured.
 pub fn run_node<N>(
     node: N,
     me: NodeId,
@@ -237,6 +258,7 @@ where
         topology,
         outputs,
         links,
+        None,
         |_, never| match never {},
     )?;
     Ok(handle)
@@ -263,7 +285,7 @@ where
     N::Request: Send + 'static,
 {
     let links = LinkSetup::new(LinkPlan::ideal(), topology.len(), 0);
-    run_submitter_inner(node, me, listener, topology, outputs, links)
+    run_submitter_inner(node, me, listener, topology, outputs, links, None)
 }
 
 pub(crate) fn run_submitter_inner<N>(
@@ -273,6 +295,7 @@ pub(crate) fn run_submitter_inner<N>(
     topology: Topology,
     outputs: mpsc::Sender<(NodeId, N::Output)>,
     links: LinkSetup,
+    codec: Option<SubmitCodec<N::Request>>,
 ) -> Result<(NodeHandle, SubmitHandle<N::Request>), NetError>
 where
     N: Submitter + Send + 'static,
@@ -287,6 +310,7 @@ where
         topology,
         outputs,
         links,
+        codec,
         // Refused submissions (mempool full, degenerate tx) are dropped
         // here; the admission verdict lives on the node's thread.
         |engine, req| {
@@ -299,6 +323,7 @@ where
     Ok((handle, submit))
 }
 
+#[allow(clippy::too_many_arguments)] // internal seam; public entry points are narrow
 pub(crate) fn run_node_inner<N, R>(
     node: N,
     me: NodeId,
@@ -306,6 +331,7 @@ pub(crate) fn run_node_inner<N, R>(
     topology: Topology,
     outputs: mpsc::Sender<(NodeId, N::Output)>,
     links: LinkSetup,
+    codec: Option<SubmitCodec<R>>,
     mut on_submit: impl FnMut(&mut Engine<N>, R) + Send + 'static,
 ) -> Result<Spawned<N::Msg, R>, NetError>
 where
@@ -322,64 +348,28 @@ where
     // frames buffered for a previous incarnation of this node.
     let my_incarnation = node.incarnation();
 
-    // Accept loop: each inbound connection announces its sender id and
-    // incarnation in a 10-byte hello and receives this node's incarnation
-    // as an 8-byte ack, then streams frames. The connection *is* the
-    // authenticated channel. Non-blocking accept so the thread (and the
-    // bound socket) actually go away when the node is stopped. A peer may
-    // reconnect any number of times; each connection gets a fresh reader
-    // (and a fresh frame decoder, so a partial frame cut off by a broken
-    // connection can never corrupt the resent copy).
-    listener.set_nonblocking(true).map_err(|source| NetError::Listener { source })?;
-    let accept_tx = event_tx.clone();
-    let accept_stop = Arc::clone(&stop);
-    thread::spawn(move || loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nonblocking(false);
-                let tx = accept_tx.clone();
-                thread::spawn(move || {
-                    let _ = read_peer(stream, me, my_incarnation, n, tx);
-                });
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if accept_stop.load(Ordering::Relaxed) {
-                    return;
-                }
-                thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => return,
-        }
+    let poller = Arc::new(Poller::new().map_err(|source| NetError::Listener { source })?);
+    let (cmd_tx, cmd_rx) = mpsc::channel::<(NodeId, Batch)>();
+
+    // Thread 1 of 2: the reactor — listener, inbound connections, and
+    // supervised outbound links, all multiplexed on one poller.
+    let reactor_cfg = ReactorConfig {
+        me,
+        my_incarnation,
+        listener,
+        topology,
+        links,
+        codec,
+        stop: Arc::clone(&stop),
+    };
+    let reactor_poller = Arc::clone(&poller);
+    let reactor_events = event_tx.clone();
+    thread::spawn(move || {
+        run_reactor::<N::Msg, R>(reactor_cfg, reactor_poller, cmd_rx, reactor_events)
     });
 
-    // One timer thread per node: armings arrive over a channel, fire from a
-    // deadline heap. Exits as soon as the event loop drops its sender.
-    let (timer_tx, timer_rx) = mpsc::channel::<Arming>();
-    let timer_events = event_tx.clone();
-    thread::spawn(move || run_timers(timer_rx, timer_events));
-
-    // Link supervisors: one per outbound edge, fed frame batches through a
-    // channel; each owns dialing, backoff, re-handshake, conditioning, and
-    // the buffered-resume queue.
-    let mut writers: HashMap<NodeId, mpsc::Sender<Batch>> = HashMap::new();
-    for (i, addr) in topology.addrs().iter().enumerate() {
-        let peer = NodeId(i as u16);
-        if peer == me {
-            continue;
-        }
-        let (tx, rx) = mpsc::channel::<Batch>();
-        writers.insert(peer, tx);
-        let cfg = LinkConfig {
-            me,
-            my_incarnation,
-            addr: *addr,
-            conditioner: links.conditioner(me, peer),
-            cut: links.cut_flag(me, peer),
-            metrics: Arc::clone(&links.metrics),
-        };
-        thread::spawn(move || run_link(cfg, rx));
-    }
-
+    // Thread 2 of 2: the engine loop, with the timer heap held locally —
+    // an arming is a heap push, a firing is a heap pop, no thread hop.
     let loop_stop = Arc::clone(&stop);
     let loop_events = event_tx.clone();
     thread::spawn(move || {
@@ -387,15 +377,19 @@ where
         let mut engine = Engine::new(node, me, n);
         let mut scratch = Writer::new();
         let mut outbox: Vec<Batch> = vec![Vec::new(); n];
+        let mut timer_heap: BinaryHeap<Reverse<Arming>> = BinaryHeap::new();
+        let mut due_timers: Vec<(TimerId, u64)> = Vec::new();
         let now = || Time(start.elapsed().as_millis() as u64);
 
         // Boot the state machine.
         {
             let mut transport = TcpTransport {
                 me,
-                writers: &writers,
+                n,
+                cmds: &cmd_tx,
+                poller: &poller,
                 events: &loop_events,
-                timers: &timer_tx,
+                timers: &mut timer_heap,
                 outputs: &outputs,
                 scratch: &mut scratch,
                 outbox: &mut outbox,
@@ -403,43 +397,61 @@ where
             engine.start(now(), &mut transport);
         }
 
-        // How many queued events one wakeup may drain before it must seal:
-        // bounds both worst-case flush latency and how long persisted state
-        // can trail the newest processed input.
-        const MAX_BATCH: usize = 64;
-
         while !loop_stop.load(Ordering::Relaxed) {
-            let first = match event_rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(event) => event,
-                Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            // Pop everything due; the batch below dispatches it. Armings
+            // made *during* the batch land in the heap through the
+            // transport and are picked up next iteration.
+            let now_wall = Instant::now();
+            while timer_heap.peek().is_some_and(|Reverse((due, _, _))| *due <= now_wall) {
+                let Reverse((_, generation, id)) = timer_heap.pop().expect("peeked entry exists");
+                due_timers.push((id, generation));
+            }
+            let first = if due_timers.is_empty() {
+                let wait = match timer_heap.peek() {
+                    Some(Reverse((due, _, _))) => {
+                        ENGINE_POLL.min(due.saturating_duration_since(now_wall))
+                    }
+                    None => ENGINE_POLL,
+                };
+                match event_rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+                    Ok(event) => Some(event),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            } else {
+                event_rx.try_recv().ok()
             };
+            if due_timers.is_empty() && first.is_none() {
+                continue;
+            }
             let mut transport = TcpTransport {
                 me,
-                writers: &writers,
+                n,
+                cmds: &cmd_tx,
+                poller: &poller,
                 events: &loop_events,
-                timers: &timer_tx,
+                timers: &mut timer_heap,
                 outputs: &outputs,
                 scratch: &mut scratch,
                 outbox: &mut outbox,
             };
-            // Drain whatever else is already queued (bursts of deliveries,
-            // due timers) in the same wakeup: one persist/flush seal and
-            // one channel round-trip per *batch* instead of per event.
+            // Drain whatever is already queued (due timers, bursts of
+            // deliveries) in the same wakeup: one persist/flush seal and
+            // one reactor wakeup per *batch* instead of per event.
             let mut dispatched = false;
-            let mut event = Some(first);
             let mut drained = 0;
+            for (id, generation) in due_timers.drain(..) {
+                // Stale (replaced or cancelled) firings die in the
+                // engine's generation filter.
+                dispatched |= engine.on_timer_buffered(id, generation, now(), &mut transport);
+                drained += 1;
+            }
+            let mut event = first;
             while let Some(ev) = event.take() {
                 match ev {
                     Event::Deliver { from, msg } => {
                         engine.on_deliver_buffered(from, msg, now(), &mut transport);
                         dispatched = true;
-                    }
-                    Event::Timer { id, generation } => {
-                        // Stale (replaced or cancelled) firings die in the
-                        // engine's generation filter.
-                        dispatched |=
-                            engine.on_timer_buffered(id, generation, now(), &mut transport);
                     }
                     Event::Submit(req) => on_submit(&mut engine, req),
                 }
@@ -455,79 +467,4 @@ where
     });
 
     Ok((NodeHandle { stop }, event_tx))
-}
-
-/// The per-node timer thread: keeps armings in a deadline heap and turns
-/// them into [`Event::Timer`]s when due. Stale generations are filtered by
-/// the engine, so superseded armings may fire here harmlessly.
-fn run_timers<M, R>(rx: mpsc::Receiver<Arming>, events: mpsc::Sender<Event<M, R>>) {
-    let mut heap: BinaryHeap<Reverse<Arming>> = BinaryHeap::new();
-    loop {
-        let wait = match heap.peek() {
-            Some(Reverse((due, _, _))) => due.saturating_duration_since(Instant::now()),
-            None => Duration::from_secs(3600),
-        };
-        match rx.recv_timeout(wait) {
-            Ok(arming) => heap.push(Reverse(arming)),
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
-        }
-        let now = Instant::now();
-        while heap.peek().is_some_and(|Reverse((due, _, _))| *due <= now) {
-            let Reverse((_, generation, id)) = heap.pop().expect("peeked entry exists");
-            if events.send(Event::Timer { id, generation }).is_err() {
-                return;
-            }
-        }
-    }
-}
-
-fn read_peer<M: Wire, R>(
-    mut stream: TcpStream,
-    me: NodeId,
-    my_incarnation: u64,
-    n: usize,
-    events: mpsc::Sender<Event<M, R>>,
-) -> io::Result<()> {
-    let mut hello = [0u8; 10];
-    stream.read_exact(&mut hello)?;
-    let from = NodeId(u16::from_be_bytes([hello[0], hello[1]]));
-    // (The dialer's incarnation, hello[2..10], is carried for symmetry and
-    // future inbound fencing; attribution alone doesn't need it.)
-    // The hello is a claim, and on a real (non-localhost) topology anything
-    // can reach the listen port: a claimed id outside the cluster — or our
-    // own, which only the in-process loopback path may use — would index
-    // per-peer protocol state out of bounds downstream. Hang up instead.
-    if from.index() >= n || from == me {
-        return Ok(());
-    }
-    // Ack with our incarnation: the dialer's supervisor compares it against
-    // the one it last saw and discards frames buffered for a previous life
-    // of this node.
-    stream.write_all(&my_incarnation.to_be_bytes())?;
-    let mut decoder = FrameDecoder::new();
-    let mut buf = vec![0u8; 64 * 1024];
-    loop {
-        let read = stream.read(&mut buf)?;
-        if read == 0 {
-            return Ok(());
-        }
-        decoder.extend(&buf[..read]);
-        // Frames are decoded zero-copy out of the decoder's buffer.
-        while let Some(frame) =
-            decoder.next_frame().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
-        {
-            match M::from_bytes(frame) {
-                Ok(msg) => {
-                    if events.send(Event::Deliver { from, msg }).is_err() {
-                        return Ok(()); // node shut down
-                    }
-                }
-                Err(_) => {
-                    // Malformed traffic is an adversarial act; ignore the
-                    // frame but keep the (authenticated) channel alive.
-                }
-            }
-        }
-    }
 }

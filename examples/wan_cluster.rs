@@ -95,6 +95,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.reconnects, stats.frames_resent, stats.frames_dropped, stats.frames_shed
     );
     println!(
+        "reactors: {} poll wakeups, send-queue depth HWM {}, {} B in / {} B out",
+        stats.poll_wakeups, stats.send_queue_hwm, stats.bytes_in, stats.bytes_out
+    );
+    for t in net.peer_traffic() {
+        println!("  peer {}: {} B in / {} B out", t.peer.0, t.bytes_in, t.bytes_out);
+    }
+    println!(
         "{seen} slots finalized; with a 45 s view timeout, every slot above committed at \
          network speed."
     );

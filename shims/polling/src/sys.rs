@@ -1,0 +1,252 @@
+//! The raw syscall layer: `epoll_*`, `poll(2)`, `socket`/`connect`, and
+//! `getrlimit`/`setrlimit`, declared directly against the C library that
+//! `std` already links (no `libc` crate in the offline build environment).
+//!
+//! Everything `unsafe` in the shim lives here; the wrappers exposed to the
+//! rest of the crate are safe and return `io::Error::last_os_error()` on
+//! the C side's `-1`.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_short, c_uint, c_ulong, c_void};
+
+// ---- epoll -----------------------------------------------------------
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLONESHOT: u32 = 1 << 30;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// The kernel ABI's `struct epoll_event`. Packed on x86-64 (the kernel
+/// declares it `__attribute__((packed))` there), naturally aligned on
+/// every other architecture — mirroring the C library's definition.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: a non-negative return from epoll_create1 is a freshly opened
+    // fd this process owns exclusively.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// One `epoll_ctl` call; `event` may be `None` only for `EPOLL_CTL_DEL`.
+pub fn epoll_control(
+    epfd: RawFd,
+    op: c_int,
+    fd: RawFd,
+    event: Option<EpollEvent>,
+) -> io::Result<()> {
+    let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// One `epoll_wait` call into `buf`; `timeout` in milliseconds, `-1` for
+/// infinite. Returns the number of ready entries.
+pub fn epoll_wait_raw(epfd: RawFd, buf: &mut [EpollEvent], timeout: c_int) -> io::Result<usize> {
+    let rc = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+// ---- poll ------------------------------------------------------------
+
+pub const POLLIN: c_short = 0x001;
+pub const POLLOUT: c_short = 0x004;
+pub const POLLERR: c_short = 0x008;
+pub const POLLHUP: c_short = 0x010;
+pub const POLLNVAL: c_short = 0x020;
+pub const POLLRDHUP: c_short = 0x2000;
+
+/// The C library's `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    pub fd: c_int,
+    pub events: c_short,
+    pub revents: c_short,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// One `poll(2)` call; `timeout` in milliseconds, `-1` for infinite.
+/// Returns how many entries have non-zero `revents`.
+pub fn poll_raw(fds: &mut [PollFd], timeout: c_int) -> io::Result<usize> {
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+// ---- non-blocking connect --------------------------------------------
+
+const AF_INET: c_int = 2;
+#[cfg(target_os = "linux")]
+const AF_INET6: c_int = 10;
+#[cfg(not(target_os = "linux"))]
+const AF_INET6: c_int = 30; // macOS/BSD value; unused on the Linux CI
+const SOCK_STREAM: c_int = 1;
+#[cfg(target_os = "linux")]
+const SOCK_NONBLOCK: c_int = 0o4000;
+#[cfg(target_os = "linux")]
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const EINPROGRESS: i32 = 115;
+
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    /// Big-endian.
+    port: u16,
+    /// Big-endian.
+    addr: u32,
+    zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    /// Big-endian.
+    port: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+extern "C" {
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const c_void, len: c_uint) -> c_int;
+}
+
+/// Starts a non-blocking TCP connection to `addr` and returns the socket
+/// as a [`TcpStream`] whose connect may still be in progress.
+///
+/// The caller waits for *writable* readiness and then checks
+/// [`TcpStream::take_error`] for the `SO_ERROR` verdict — the classic
+/// readiness-based dial, which `std` alone cannot express (its `connect`
+/// blocks and its `connect_timeout` blocks up to the timeout).
+pub fn connect_stream(addr: &SocketAddr) -> io::Result<TcpStream> {
+    let family = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    #[cfg(target_os = "linux")]
+    let ty = SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC;
+    #[cfg(not(target_os = "linux"))]
+    let ty = SOCK_STREAM;
+    let fd = unsafe { socket(family, ty, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: a non-negative return from socket(2) is a fresh fd owned
+    // exclusively by this process; OwnedFd closes it on every error path.
+    let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+    let stream = TcpStream::from(owned);
+    #[cfg(not(target_os = "linux"))]
+    stream.set_nonblocking(true)?;
+
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: u32::from_ne_bytes(v4.ip().octets()),
+                zero: [0; 8],
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&sa as *const SockAddrIn).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn>() as c_uint,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&sa as *const SockAddrIn6).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn6>() as c_uint,
+                )
+            }
+        }
+    };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINPROGRESS) {
+            return Err(err);
+        }
+    }
+    Ok(stream)
+}
+
+// ---- rlimit ----------------------------------------------------------
+
+const RLIMIT_NOFILE: c_int = 7;
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit and returns the
+/// resulting soft limit. A 10k-connection harness outgrows the usual
+/// 1024-fd default; this is the standard server start-up move.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur < lim.max {
+        lim.cur = lim.max;
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(lim.cur)
+}
